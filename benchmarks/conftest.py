@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints a
+``paper=`` vs ``measured=`` report (bypassing pytest's capture so it shows
+up in the tee'd output), and asserts the qualitative *shape* the paper
+claims — who wins, by roughly what factor, where crossovers fall.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` (float, default 1.0) multiplies each experiment's
+  default time scale; values below 1 shorten runs at the cost of rougher
+  elasticity dynamics (see EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """Global multiplier for the experiments' default time scales."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture
+def report(capsys):
+    """Print through pytest's capture, so harness output reaches the tee."""
+
+    def _print(text: str = "") -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _print
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations; repeated rounds would
+    only re-measure the same run.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Surviving a host crash: passive replication in action.
+
+The paper's runtime supports passive slice replication (§III); this
+example exercises our end-to-end implementation of it.  A hub runs with
+periodic slice checkpoints and upstream event retention; mid-stream, the
+host carrying all Matching slices crashes without warning.  The failure
+detector notices after a heartbeat timeout, the reliability coordinator
+restores every victim slice from its last checkpoint on a spare host and
+replays the retained events — and every publication is still matched and
+notified exactly once.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.cluster import CloudProvider, FailureDetector, crash_host
+from repro.engine import ReliabilityCoordinator
+from repro.filtering import BruteForceLibrary, ExactBackend, Op, Predicate, PredicateSet
+from repro.pubsub import HubConfig, StreamHub, Subscription
+from repro.pubsub.source import SourceDriver
+from repro.sim import Environment
+
+
+def main() -> None:
+    env = Environment()
+    cloud = CloudProvider(env)
+    ap_ep_host = cloud.provision_now()
+    m_host = cloud.provision_now()
+    sink_host = cloud.provision_now()
+    spare = cloud.provision_now()
+
+    config = HubConfig(
+        ap_slices=2, m_slices=4, ep_slices=2, sink_slices=1,
+        encrypted=False,
+        backend_factory=lambda index: ExactBackend(BruteForceLibrary()),
+    )
+    hub = StreamHub(env, cloud.network, config)
+    hub.deploy(ap_hosts=[ap_ep_host], m_hosts=[m_host],
+               ep_hosts=[ap_ep_host], sink_hosts=[sink_host])
+
+    # Passive replication: checkpoint every 3 s, replay from retention.
+    coordinator = ReliabilityCoordinator(
+        hub.runtime, interval_s=3.0, replacement_host_fn=lambda: spare
+    )
+    coordinator.start(hub.engine_slice_ids())
+    detector = FailureDetector(env, detection_delay_s=1.0)
+    detector.subscribe(lambda host: coordinator.handle_host_crash(host))
+
+    # 300 subscribers interested in "attribute 0 below 600".
+    for sub_id in range(300):
+        hub.subscribe(Subscription(sub_id, sub_id, PredicateSet.of(
+            Predicate(0, Op.LT, 600.0)
+        )))
+    env.run(until=1.0)  # the periodic checkpoint loop never ends: bound runs
+
+    source = SourceDriver(hub)
+    source.publish_constant(
+        rate_per_s=40.0, duration_s=20.0,
+        payload_factory=lambda pub_id: [float(pub_id % 1000), 0.0, 0.0, 0.0],
+    )
+
+    def crash():
+        yield env.timeout(8.0)
+        print(f"t={env.now:.1f}s: host {m_host.host_id} (all 4 M slices, "
+              f"300 stored subscriptions) crashes")
+        crash_host(cloud, m_host)
+        detector.report_crash(m_host)
+
+    env.process(crash())
+    env.run(until=40.0)
+
+    for report in coordinator.recovery_reports:
+        print(f"  recovered {report.slice_id} on {report.replacement_host} "
+              f"from checkpoint epoch {report.restored_epoch} "
+              f"(+{report.replayed_events} replayed events) "
+              f"in {report.duration_s * 1000:.0f} ms")
+
+    stored = sum(
+        hub.runtime.handler_of(f"M:{i}").backend.subscription_count()
+        for i in range(4)
+    )
+    wrong = sum(
+        1 for s in hub.delay_tracker.samples
+        if s.notifications != (300 if (s.pub_id % 1000) < 600 else 0)
+    )
+    print(f"\nsubscriptions after recovery: {stored}/300")
+    print(f"publications: {source.publications_sent}, notified: "
+          f"{hub.notified_publications}, wrong match counts: {wrong}")
+    assert stored == 300 and wrong == 0
+    assert hub.notified_publications == source.publications_sent
+    print("exactly-once matching survived the crash.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Live slice migration with no lost or duplicated notifications.
+
+Demonstrates the paper's §IV-A protocol directly: while a steady flow of
+publications runs, a stateful Matching slice (holding 5 000 encrypted
+subscriptions) is migrated between hosts.  The destination instance
+buffers duplicated events, the state moves with its timestamp vector, and
+every publication is still notified exactly once.
+
+Run:  python examples/live_migration.py
+"""
+
+from repro.cluster import CloudProvider
+from repro.pubsub import HubConfig, StreamHub, Subscription
+from repro.pubsub.source import SourceDriver
+from repro.sim import Environment
+
+
+def main() -> None:
+    env = Environment()
+    cloud = CloudProvider(env)
+    host_a, host_b, sink_host = (cloud.provision_now() for _ in range(3))
+
+    config = HubConfig.sampled(
+        0.01, ap_slices=2, m_slices=4, ep_slices=2, sink_slices=1
+    )
+    hub = StreamHub(env, cloud.network, config)
+    hub.deploy_all_on([host_a], [sink_host])
+
+    for sub_id in range(20_000):
+        hub.subscribe(Subscription(sub_id, sub_id, None))
+    env.run()
+    slice_id = "M:1"
+    stats = hub.runtime.slice_stats(slice_id)
+    print(f"{slice_id} on {stats['host']} holds "
+          f"{stats['state_bytes'] / 1e6:.1f} MB of subscription state")
+
+    source = SourceDriver(hub)
+    source.publish_constant(rate_per_s=50.0, duration_s=20.0)
+
+    def migrate():
+        yield env.timeout(8.0)
+        print(f"t={env.now:.1f}s: migrating {slice_id} "
+              f"{host_a.host_id} → {host_b.host_id} (flow keeps running)")
+        report = yield hub.runtime.migrate(slice_id, host_b)
+        print(f"t={env.now:.1f}s: done in {report.duration_s * 1000:.0f} ms "
+              f"({report.state_bytes / 1e6:.1f} MB moved, "
+              f"service interrupted {report.interruption_s * 1000:.0f} ms)")
+
+    env.process(migrate())
+    env.run(until=25.0)
+
+    print(f"\nplacement now: {slice_id} on {hub.runtime.placement()[slice_id]}")
+    print(f"published: {hub.published_count}, notified: {hub.notified_publications}")
+    assert hub.published_count == hub.notified_publications, "exactly-once broken!"
+    worst = max(s.delay for s in hub.delay_tracker.samples)
+    print(f"worst notification delay across the migration: {worst * 1000:.0f} ms")
+
+
+if __name__ == "__main__":
+    main()

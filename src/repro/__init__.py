@@ -1,0 +1,38 @@
+"""repro — reproduction of E-STREAMHUB (ICDCS 2014).
+
+An elastic, high-throughput content-based publish/subscribe engine:
+a STREAMHUB-style tiered pub/sub pipeline (Access Point → Matching →
+Exit Point) running on a StreamMine3G-like operator/slice runtime over a
+simulated cluster, with live slice migration and a global/local elasticity
+policy enforcer, evaluated with plain and ASPE-encrypted filtering.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+
+The most common entry points are re-exported here::
+
+    from repro import Environment, CloudProvider, HubConfig, StreamHub
+    from repro import ElasticityManager, ElasticityPolicy
+"""
+
+from .sim import Environment
+from .cluster import CloudProvider, Host, HostSpec, Network
+from .pubsub import HubConfig, Publication, StreamHub, Subscription
+from .elastic import ElasticityManager, ElasticityPolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloudProvider",
+    "ElasticityManager",
+    "ElasticityPolicy",
+    "Environment",
+    "Host",
+    "HostSpec",
+    "HubConfig",
+    "Network",
+    "Publication",
+    "StreamHub",
+    "Subscription",
+    "__version__",
+]

@@ -1,0 +1,237 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage::
+
+    python -m repro.cli figure1 [--resolution 300]
+    python -m repro.cli figure6 [--hosts 2 4 6 8 10 12]
+    python -m repro.cli table1  [--migrations 25]
+    python -m repro.cli figure7
+    python -m repro.cli figure8 [--time-scale 0.25]
+    python -m repro.cli figure9 [--time-scale 0.5]
+    python -m repro.cli ablations [--which selection|grace|target]
+
+Each command prints the same ``paper vs measured`` report the benchmark
+harness produces (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .metrics import format_series, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="E-STREAMHUB reproduction: regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure1", help="FSE tick trace (Figure 1)")
+    p.add_argument("--resolution", type=float, default=300.0,
+                   help="sampling resolution in seconds")
+
+    p = sub.add_parser("figure6", help="baseline throughput and delays (Figure 6)")
+    p.add_argument("--hosts", type=int, nargs="+", default=[2, 4, 6, 8, 10, 12])
+    p.add_argument("--iterations", type=int, default=5,
+                   help="binary-search iterations per configuration")
+
+    p = sub.add_parser("table1", help="migration times (Table I)")
+    p.add_argument("--migrations", type=int, default=25,
+                   help="migrations per operator")
+
+    sub.add_parser("figure7", help="delays under consecutive migrations (Figure 7)")
+
+    p = sub.add_parser("figure8", help="synthetic elastic scaling (Figure 8)")
+    p.add_argument("--time-scale", type=float, default=0.25)
+    p.add_argument("--peak", type=float, default=350.0)
+
+    p = sub.add_parser("figure9", help="FSE trace elastic scaling (Figure 9)")
+    p.add_argument("--time-scale", type=float, default=0.5)
+    p.add_argument("--peak", type=float, default=190.0)
+
+    p = sub.add_parser("ablations", help="enforcer design-choice ablations")
+    p.add_argument("--which", choices=["selection", "grace", "target"],
+                   default="selection")
+    p.add_argument("--time-scale", type=float, default=0.15)
+
+    p = sub.add_parser("cost", help="elastic vs static provisioning cost (§I)")
+    p.add_argument("--time-scale", type=float, default=0.35)
+    return parser
+
+
+def _cmd_figure1(args) -> None:
+    from .workloads import FrankfurtTraceModel
+
+    series = FrankfurtTraceModel().series(resolution_s=args.resolution)
+    hourly = [
+        (f"{t / 3600:04.1f}h", round(rate))
+        for t, rate in series
+        if t % 3600 == 0
+    ]
+    print("Figure 1 — FSE tick volume (synthetic reconstruction, ticks/s)")
+    print(format_series("hour, ticks/s", hourly))
+
+
+def _cmd_figure6(args) -> None:
+    from .experiments import ExperimentSetup, run_figure6
+
+    setup = ExperimentSetup()
+    results = run_figure6(
+        host_counts=args.hosts, setup=setup, search_iterations=args.iterations
+    )
+    print("Figure 6 — baseline performance (paper: 422 pub/s at 12 hosts)")
+    rows = []
+    for r in results:
+        stack = dict(r.delay_percentiles)
+        rows.append([
+            r.hosts,
+            round(r.max_throughput, 1),
+            round(r.max_throughput * setup.subscriptions / 1e6, 1),
+            round(r.delay_stats.minimum * 1000),
+            round(stack[0.75] * 1000),
+        ])
+    print(format_table(
+        ["hosts", "max pub/s", "Mops/s", "delay min ms", "delay p75 ms"], rows
+    ))
+
+
+def _cmd_table1(args) -> None:
+    from .experiments import run_table1
+
+    rows = run_table1(migrations_per_operator=args.migrations)
+    print("Table I — migration times (paper: AP 232±31, M(12.5K) 1497±354,")
+    print("          M(50K) 2533±1557, EP 275±52 ms)")
+    print(format_table(
+        ["operator", "avg ms", "std ms"],
+        [[r.operator, round(r.average_ms), round(r.std_ms)] for r in rows],
+    ))
+
+
+def _cmd_figure7(args) -> None:
+    from .experiments import run_figure7
+
+    result = run_figure7()
+    print("Figure 7 — delays under consecutive migrations")
+    print("migrations at: " + ", ".join(
+        f"t={t:.0f}s ({sid})" for t, sid in result.migration_marks
+    ))
+    print(format_table(
+        ["window", "mean ms", "max ms"],
+        [
+            [f"{w.window_start:.0f}s", round(w.mean * 1000), round(w.maximum * 1000)]
+            for w in result.delay_windows
+        ],
+    ))
+    print(f"steady ≈ {result.steady_state_mean_s * 1000:.0f} ms "
+          f"(paper ≈ 500); peak {result.peak_delay_s * 1000:.0f} ms (paper < 2000)")
+
+
+def _print_elastic(result) -> None:
+    print(format_table(
+        ["time", "hosts", "cpu min", "cpu avg", "cpu max"],
+        [
+            [f"{t:.0f}s", count, f"{lo:.0%}", f"{avg:.0%}", f"{hi:.0%}"]
+            for (t, count), (_, lo, avg, hi) in list(
+                zip(result.host_series, result.utilization_series)
+            )[:: max(1, len(result.host_series) // 25)]
+        ],
+    ))
+    print(format_table(
+        ["window", "delay mean ms", "delay max ms"],
+        [
+            [f"{w.window_start:.0f}s", round(w.mean * 1000), round(w.maximum * 1000)]
+            for w in result.delay_windows[:: max(1, len(result.delay_windows) // 15)]
+        ],
+    ))
+    print(
+        f"hosts 1 → {result.max_hosts} → {result.final_hosts}; "
+        f"decisions {len(result.decisions)}; migrations "
+        f"{len(result.migration_reports)}; published {result.published}; "
+        f"notified {result.notified}"
+    )
+
+
+def _cmd_figure8(args) -> None:
+    from .experiments import run_figure8
+
+    print(f"Figure 8 — synthetic ramp to {args.peak:g} pub/s "
+          f"(time scale {args.time_scale:g}; paper: 1 → ~15 → 1 hosts)")
+    _print_elastic(run_figure8(time_scale=args.time_scale, peak_rate=args.peak))
+
+
+def _cmd_figure9(args) -> None:
+    from .experiments import run_figure9
+
+    print(f"Figure 9 — FSE trace replay, peak {args.peak:g} pub/s "
+          f"(time scale {args.time_scale:g}; paper: 1 to 8 hosts)")
+    _print_elastic(run_figure9(time_scale=args.time_scale, peak_rate=args.peak))
+
+
+def _cmd_ablations(args) -> None:
+    from .experiments import (
+        run_grace_period_ablation,
+        run_selection_ablation,
+        run_target_utilization_ablation,
+    )
+
+    runner = {
+        "selection": run_selection_ablation,
+        "grace": run_grace_period_ablation,
+        "target": run_target_utilization_ablation,
+    }[args.which]
+    rows = runner(time_scale=args.time_scale)
+    print(f"Ablation — {args.which}")
+    print(format_table(
+        ["variant", "migrations", "state MB", "decisions", "mean delay ms",
+         "max hosts"],
+        [
+            [r.variant, r.migrations, round(r.state_moved_mb, 1), r.decisions,
+             round(r.mean_delay_s * 1000), r.max_hosts]
+            for r in rows
+        ],
+    ))
+
+
+def _cmd_cost(args) -> None:
+    from .experiments import run_cost_effectiveness
+
+    comparison = run_cost_effectiveness(time_scale=args.time_scale)
+    print("Cost-effectiveness — elastic vs static provisioning (FSE day)")
+    print(format_table(
+        ["provisioning", "host-seconds", "avg hosts"],
+        [
+            ["static @ peak", round(comparison.static_peak_host_seconds),
+             comparison.peak_hosts],
+            ["elastic", round(comparison.elastic_host_seconds),
+             round(comparison.average_hosts, 2)],
+        ],
+    ))
+    print(f"savings vs static peak: {comparison.savings_vs_static_peak:.0%}")
+
+
+_COMMANDS = {
+    "cost": _cmd_cost,
+    "figure1": _cmd_figure1,
+    "figure6": _cmd_figure6,
+    "table1": _cmd_table1,
+    "figure7": _cmd_figure7,
+    "figure8": _cmd_figure8,
+    "figure9": _cmd_figure9,
+    "ablations": _cmd_ablations,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Simulated private-cloud substrate: hosts, CPUs, network, provider.
+
+Stands in for the paper's 30-host / 240-core testbed (see DESIGN.md §2).
+"""
+
+from .cpu import CpuScheduler, CpuUsageSnapshot
+from .network import Network, NicStats
+from .host import Host, HostSpec
+from .cloud import CloudProvider
+from .failures import FailureDetector, FailureInjector, crash_host
+
+__all__ = [
+    "CloudProvider",
+    "CpuScheduler",
+    "CpuUsageSnapshot",
+    "FailureDetector",
+    "FailureInjector",
+    "Host",
+    "HostSpec",
+    "Network",
+    "NicStats",
+    "crash_host",
+]

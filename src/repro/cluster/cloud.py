@@ -1,0 +1,101 @@
+"""The simulated IaaS provider: provisioning and releasing hosts.
+
+This is the elasticity substrate the paper assumes: an IaaS whose VM
+allocation/deallocation API the application-level elasticity manager calls.
+Provisioning takes a configurable boot delay; releasing is immediate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from ..sim import Environment
+from .host import Host, HostSpec
+from .network import Network
+
+__all__ = ["CloudProvider"]
+
+
+class CloudProvider:
+    """Allocates simulated hosts on demand, up to ``max_hosts``."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Optional[Network] = None,
+        spec: HostSpec = HostSpec(),
+        max_hosts: int = 30,
+        provisioning_delay_s: float = 2.0,
+    ):
+        if max_hosts <= 0:
+            raise ValueError("max_hosts must be positive")
+        if provisioning_delay_s < 0:
+            raise ValueError("provisioning delay must be non-negative")
+        self.env = env
+        self.network = network if network is not None else Network(env)
+        self.spec = spec
+        self.max_hosts = max_hosts
+        self.provisioning_delay = provisioning_delay_s
+        self._hosts: Dict[str, Host] = {}
+        self._next_id = 0
+        self.total_provisioned = 0
+        self.total_released = 0
+        #: Integral of (active hosts × time), for cost-effectiveness metrics.
+        self._host_seconds = 0.0
+        self._last_count_change = env.now
+
+    # -- inventory -----------------------------------------------------------
+
+    @property
+    def active_hosts(self) -> List[Host]:
+        return [h for h in self._hosts.values() if not h.released]
+
+    @property
+    def active_count(self) -> int:
+        return len(self.active_hosts)
+
+    def host(self, host_id: str) -> Host:
+        return self._hosts[host_id]
+
+    def host_seconds(self) -> float:
+        """Cumulative host-seconds consumed (the cloud bill)."""
+        return self._host_seconds + self.active_count * (self.env.now - self._last_count_change)
+
+    # -- allocation API --------------------------------------------------------
+
+    def provision(self) -> Generator:
+        """Process generator: boot a new host and return it.
+
+        Usage: ``host = yield from cloud.provision()`` inside a process.
+        Raises :class:`RuntimeError` when the pool is exhausted.
+        """
+        if self.active_count >= self.max_hosts:
+            raise RuntimeError(f"cloud capacity exhausted ({self.max_hosts} hosts)")
+        yield self.env.timeout(self.provisioning_delay)
+        return self.provision_now()
+
+    def provision_now(self) -> Host:
+        """Synchronous variant without the boot delay (initial deployments)."""
+        if self.active_count >= self.max_hosts:
+            raise RuntimeError(f"cloud capacity exhausted ({self.max_hosts} hosts)")
+        self._accrue()
+        host_id = f"host-{self._next_id}"
+        self._next_id += 1
+        host = Host(self.env, host_id, self.spec, self.network)
+        self._hosts[host_id] = host
+        self.total_provisioned += 1
+        return host
+
+    def release(self, host: Host) -> None:
+        """Return ``host`` to the provider."""
+        if host.host_id not in self._hosts:
+            raise KeyError(f"unknown host {host.host_id}")
+        if host.released:
+            raise RuntimeError(f"host {host.host_id} already released")
+        self._accrue()
+        host.release()
+        self.total_released += 1
+
+    def _accrue(self) -> None:
+        self._host_seconds += self.active_count * (self.env.now - self._last_count_change)
+        self._last_count_change = self.env.now

@@ -1,0 +1,118 @@
+"""Host failure injection and detection.
+
+STREAMMINE3G supports passive and active slice replication for fault
+tolerance (paper §III; its refs [25], [26]).  The paper's evaluation
+leaves replication out of scope; we implement the passive scheme end to
+end (checkpointing + upstream replay, :mod:`repro.engine.recovery`), and
+this module supplies the substrate: crashing hosts and a heartbeat-style
+failure detector with a configurable detection delay.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from ..sim import Environment
+from .cloud import CloudProvider
+from .host import Host
+
+__all__ = ["FailureDetector", "FailureInjector", "crash_host"]
+
+
+def crash_host(cloud: CloudProvider, host: Host) -> None:
+    """Crash ``host``: it stops abruptly and leaves the fabric.
+
+    Unlike a graceful :meth:`CloudProvider.release`, nothing running on
+    the host gets a chance to migrate or flush.
+    """
+    if host.released:
+        raise RuntimeError(f"host {host.host_id} is already gone")
+    cloud.release(host)  # accounting-wise the host is gone immediately
+
+
+class FailureDetector:
+    """Notifies subscribers of crashes after a detection delay.
+
+    Models heartbeat-based detection: a crash becomes *known* only after
+    ``detection_delay_s`` (missed heartbeats), during which events sent to
+    the dead host are lost — exactly the window the recovery protocol's
+    replay has to cover.
+    """
+
+    def __init__(self, env: Environment, detection_delay_s: float = 2.0):
+        if detection_delay_s < 0:
+            raise ValueError("detection delay must be non-negative")
+        self.env = env
+        self.detection_delay_s = detection_delay_s
+        self._listeners: List[Callable[[Host], None]] = []
+        self.detected: List[Host] = []
+
+    def subscribe(self, listener: Callable[[Host], None]) -> None:
+        self._listeners.append(listener)
+
+    def report_crash(self, host: Host) -> None:
+        """Called at crash time; listeners hear about it after the delay."""
+        self.env.call_later(self.detection_delay_s, self._notify, host)
+
+    def _notify(self, host: Host) -> None:
+        self.detected.append(host)
+        for listener in list(self._listeners):
+            listener(host)
+
+
+class FailureInjector:
+    """Crashes random eligible hosts at configurable times.
+
+    ``eligible`` returns the hosts that may be killed (e.g. the engine
+    hosts, excluding sink/coordination hosts).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cloud: CloudProvider,
+        detector: FailureDetector,
+        eligible: Callable[[], List[Host]],
+        seed: int = 0,
+    ):
+        self.env = env
+        self.cloud = cloud
+        self.detector = detector
+        self.eligible = eligible
+        self._rng = random.Random(seed)
+        self.crashed: List[Host] = []
+
+    def crash_at(self, time_s: float, host: Optional[Host] = None):
+        """Schedule one crash at an absolute simulated time."""
+        if time_s < self.env.now:
+            raise ValueError("cannot schedule a crash in the past")
+        return self.env.process(self._crash_once(time_s - self.env.now, host))
+
+    def crash_periodically(self, interval_s: float, count: int):
+        """Schedule ``count`` crashes spaced ``interval_s`` apart."""
+        if interval_s <= 0 or count <= 0:
+            raise ValueError("interval and count must be positive")
+
+        def run():
+            for _ in range(count):
+                yield self.env.timeout(interval_s)
+                self._do_crash(None)
+
+        return self.env.process(run())
+
+    def _crash_once(self, delay: float, host: Optional[Host]):
+        yield self.env.timeout(delay)
+        self._do_crash(host)
+
+    def _do_crash(self, host: Optional[Host]) -> None:
+        if host is None:
+            candidates = [h for h in self.eligible() if not h.released]
+            if not candidates:
+                return
+            host = self._rng.choice(candidates)
+        if host.released:
+            return
+        crash_host(self.cloud, host)
+        self.crashed.append(host)
+        self.detector.report_crash(host)

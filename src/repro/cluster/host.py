@@ -1,0 +1,92 @@
+"""Simulated hosts (virtual machines) of the private cloud."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..sim import Environment
+from .cpu import CpuScheduler
+from .network import Network
+
+__all__ = ["HostSpec", "Host"]
+
+GIB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Hardware profile of a host.
+
+    Defaults mirror the paper's testbed: two quad-core Xeon E5405 (8 cores),
+    8 GB RAM, 1 Gbps NIC.
+    """
+
+    cores: int = 8
+    memory_bytes: int = 8 * GIB
+
+    def __post_init__(self):
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory must be positive")
+
+
+class Host:
+    """A provisioned host: CPU scheduler + NIC + memory accounting.
+
+    Memory is tracked as a simple ledger of named reservations (slice state
+    sizes); the elasticity enforcer uses it as a constraint and as the
+    state-transfer cost signal when choosing slices to migrate.
+    """
+
+    def __init__(self, env: Environment, host_id: str, spec: HostSpec, network: Network):
+        self.env = env
+        self.host_id = host_id
+        self.spec = spec
+        self.network = network
+        self.cpu = CpuScheduler(env, spec.cores)
+        self._memory: Dict[str, int] = {}
+        self.released = False
+        self.provisioned_at = env.now
+        network.attach(host_id)
+
+    # -- memory ledger ------------------------------------------------------
+
+    @property
+    def memory_used(self) -> int:
+        return sum(self._memory.values())
+
+    @property
+    def memory_free(self) -> int:
+        return self.spec.memory_bytes - self.memory_used
+
+    def reserve_memory(self, owner: str, size_bytes: int) -> None:
+        """Set the memory reservation of ``owner`` to ``size_bytes``."""
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        previous = self._memory.get(owner, 0)
+        if self.memory_used - previous + size_bytes > self.spec.memory_bytes:
+            raise MemoryError(
+                f"host {self.host_id}: reservation of {size_bytes} B for "
+                f"{owner!r} exceeds {self.spec.memory_bytes} B capacity"
+            )
+        self._memory[owner] = size_bytes
+
+    def free_memory(self, owner: str) -> None:
+        """Drop the reservation of ``owner`` (no-op if absent)."""
+        self._memory.pop(owner, None)
+
+    def memory_of(self, owner: str) -> int:
+        return self._memory.get(owner, 0)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def release(self) -> None:
+        """Mark the host released and detach its NIC."""
+        self.released = True
+        self.network.detach(self.host_id)
+
+    def __repr__(self) -> str:
+        state = "released" if self.released else "running"
+        return f"<Host {self.host_id} {self.spec.cores}c {state}>"

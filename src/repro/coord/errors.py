@@ -1,0 +1,34 @@
+"""Errors of the coordination kernel, mirroring ZooKeeper's exception set."""
+
+__all__ = [
+    "CoordError",
+    "NoNodeError",
+    "NodeExistsError",
+    "NotEmptyError",
+    "BadVersionError",
+    "SessionClosedError",
+]
+
+
+class CoordError(Exception):
+    """Base class of coordination-kernel errors."""
+
+
+class NoNodeError(CoordError):
+    """The targeted znode does not exist."""
+
+
+class NodeExistsError(CoordError):
+    """Creation failed because the znode already exists."""
+
+
+class NotEmptyError(CoordError):
+    """Deletion failed because the znode has children."""
+
+
+class BadVersionError(CoordError):
+    """A conditional write failed because the version did not match."""
+
+
+class SessionClosedError(CoordError):
+    """The session used for the operation has been closed."""

@@ -1,0 +1,306 @@
+"""A ZooKeeper-like coordination kernel.
+
+The E-STREAMHUB manager stores the whole shared configuration (operator
+layout, slice placement, migration records) in ZooKeeper so that it can be
+restarted after a failure and so that all hosts observe a consistent
+configuration.  This module provides the same API surface in-process:
+
+* a filesystem-like hierarchy of *znodes*, each holding a small data blob,
+* per-node versions with conditional writes (compare-and-set),
+* ephemeral nodes tied to a session and deleted when the session closes,
+* sequential nodes with monotonically increasing suffixes,
+* one-shot data/children watches.
+
+Within one process, all operations are applied in a total order (Python
+calls), which gives the linearizability that ZooKeeper's atomic broadcast
+provides across replicas; the manager's recovery tests exercise restart
+from the stored state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .errors import (
+    BadVersionError,
+    NoNodeError,
+    NodeExistsError,
+    NotEmptyError,
+    SessionClosedError,
+)
+
+__all__ = ["CoordinationKernel", "Session", "ZNodeStat", "WatchedEvent"]
+
+
+class ZNodeStat:
+    """Metadata of a znode (a subset of ZooKeeper's Stat)."""
+
+    def __init__(self, version: int, ephemeral_owner: Optional[int], created_seq: int):
+        self.version = version
+        self.ephemeral_owner = ephemeral_owner
+        self.created_seq = created_seq
+
+    def __repr__(self) -> str:
+        return f"<ZNodeStat v{self.version} eph={self.ephemeral_owner}>"
+
+
+class WatchedEvent:
+    """Delivered to a watch callback when it fires."""
+
+    CREATED = "created"
+    DELETED = "deleted"
+    CHANGED = "changed"
+    CHILD = "child"
+
+    def __init__(self, kind: str, path: str):
+        self.kind = kind
+        self.path = path
+
+    def __repr__(self) -> str:
+        return f"<WatchedEvent {self.kind} {self.path}>"
+
+
+class _ZNode:
+    def __init__(self, data: Any, ephemeral_owner: Optional[int], created_seq: int):
+        self.data = data
+        self.version = 0
+        self.ephemeral_owner = ephemeral_owner
+        self.created_seq = created_seq
+        self.children: Dict[str, "_ZNode"] = {}
+        self.next_sequential = 0
+        self.data_watches: List[Callable[[WatchedEvent], None]] = []
+        self.child_watches: List[Callable[[WatchedEvent], None]] = []
+
+    def stat(self) -> ZNodeStat:
+        return ZNodeStat(self.version, self.ephemeral_owner, self.created_seq)
+
+
+def _validate_path(path: str) -> List[str]:
+    if not path.startswith("/"):
+        raise ValueError(f"path must be absolute, got {path!r}")
+    if path == "/":
+        return []
+    if path.endswith("/"):
+        raise ValueError(f"path must not end with '/', got {path!r}")
+    parts = path[1:].split("/")
+    if any(not p for p in parts):
+        raise ValueError(f"empty path component in {path!r}")
+    return parts
+
+
+class Session:
+    """A client session; owns ephemeral nodes until closed."""
+
+    _next_id = 1
+
+    def __init__(self, kernel: "CoordinationKernel"):
+        self.kernel = kernel
+        self.session_id = Session._next_id
+        Session._next_id += 1
+        self.closed = False
+
+    def close(self) -> None:
+        """Close the session, deleting every ephemeral node it owns."""
+        if not self.closed:
+            self.closed = True
+            self.kernel._expire_session(self.session_id)
+
+    def _check(self) -> None:
+        if self.closed:
+            raise SessionClosedError(f"session {self.session_id} is closed")
+
+
+class CoordinationKernel:
+    """The shared znode tree with watches and sessions."""
+
+    def __init__(self) -> None:
+        self._root = _ZNode(data=None, ephemeral_owner=None, created_seq=0)
+        self._op_seq = 0
+        # exists() watches armed on paths that do not exist yet.
+        self._pending_exists_watches: Dict[str, List[Callable[[WatchedEvent], None]]] = {}
+
+    # -- sessions -----------------------------------------------------------
+
+    def session(self) -> Session:
+        """Open a new session."""
+        return Session(self)
+
+    def _expire_session(self, session_id: int) -> None:
+        for path in self._ephemeral_paths(self._root, "", session_id):
+            try:
+                self.delete(path)
+            except NoNodeError:
+                pass
+
+    def _ephemeral_paths(self, node: _ZNode, prefix: str, session_id: int) -> List[str]:
+        # Deepest-first so children are removed before parents.
+        paths: List[str] = []
+        for name, child in node.children.items():
+            child_path = f"{prefix}/{name}"
+            paths.extend(self._ephemeral_paths(child, child_path, session_id))
+            if child.ephemeral_owner == session_id:
+                paths.append(child_path)
+        return paths
+
+    # -- core operations -------------------------------------------------------
+
+    def create(
+        self,
+        path: str,
+        data: Any = None,
+        session: Optional[Session] = None,
+        ephemeral: bool = False,
+        sequential: bool = False,
+        make_parents: bool = False,
+    ) -> str:
+        """Create a znode; returns its actual path (suffix for sequential)."""
+        if ephemeral and session is None:
+            raise ValueError("ephemeral nodes require a session")
+        if session is not None:
+            session._check()
+        parts = _validate_path(path)
+        if not parts:
+            raise NodeExistsError("/")
+        parent = self._resolve_parent(parts, make_parents)
+        name = parts[-1]
+        if sequential:
+            name = f"{name}{parent.next_sequential:010d}"
+            parent.next_sequential += 1
+        if name in parent.children:
+            raise NodeExistsError(path)
+        if ephemeral and parent.children is None:
+            raise ValueError("cannot create children under an ephemeral node")
+        self._op_seq += 1
+        owner = session.session_id if (ephemeral and session) else None
+        parent.children[name] = _ZNode(data, owner, self._op_seq)
+        actual = "/" + "/".join(parts[:-1] + [name]) if len(parts) > 1 else f"/{name}"
+        self._fire_child_watches(parts[:-1])
+        self._fire_data_watches(actual, WatchedEvent.CREATED)
+        return actual
+
+    def get(
+        self, path: str, watch: Optional[Callable[[WatchedEvent], None]] = None
+    ) -> Tuple[Any, ZNodeStat]:
+        """Read a znode's data and stat, optionally arming a data watch."""
+        node = self._find(path)
+        if watch is not None:
+            node.data_watches.append(watch)
+        return node.data, node.stat()
+
+    def exists(
+        self, path: str, watch: Optional[Callable[[WatchedEvent], None]] = None
+    ) -> Optional[ZNodeStat]:
+        """Stat of the node, or None; a watch may be armed either way."""
+        try:
+            node = self._find(path)
+        except NoNodeError:
+            if watch is not None:
+                self._pending_exists_watches.setdefault(path, []).append(watch)
+            return None
+        if watch is not None:
+            node.data_watches.append(watch)
+        return node.stat()
+
+    def set(self, path: str, data: Any, version: int = -1) -> ZNodeStat:
+        """Write a znode's data; ``version >= 0`` makes it a compare-and-set."""
+        node = self._find(path)
+        if version >= 0 and node.version != version:
+            raise BadVersionError(f"{path}: expected v{version}, is v{node.version}")
+        node.data = data
+        node.version += 1
+        self._fire_data_watches(path, WatchedEvent.CHANGED)
+        return node.stat()
+
+    def delete(self, path: str, version: int = -1) -> None:
+        """Delete a leaf znode (conditional when ``version >= 0``)."""
+        parts = _validate_path(path)
+        if not parts:
+            raise ValueError("cannot delete the root")
+        parent = self._resolve_parent(parts, make_parents=False)
+        name = parts[-1]
+        node = parent.children.get(name)
+        if node is None:
+            raise NoNodeError(path)
+        if node.children:
+            raise NotEmptyError(path)
+        if version >= 0 and node.version != version:
+            raise BadVersionError(f"{path}: expected v{version}, is v{node.version}")
+        del parent.children[name]
+        self._notify(node.data_watches, WatchedEvent(WatchedEvent.DELETED, path))
+        self._fire_child_watches(parts[:-1])
+
+    def get_children(
+        self, path: str, watch: Optional[Callable[[WatchedEvent], None]] = None
+    ) -> List[str]:
+        """Sorted child names, optionally arming a child watch."""
+        node = self._find(path)
+        if watch is not None:
+            node.child_watches.append(watch)
+        return sorted(node.children)
+
+    def ensure_path(self, path: str) -> None:
+        """Create ``path`` and any missing parents (no-op if present)."""
+        try:
+            self.create(path, make_parents=True)
+        except NodeExistsError:
+            pass
+
+    def walk(self, path: str = "/") -> List[str]:
+        """All absolute paths below (and excluding) ``path``, depth-first."""
+        node = self._find(path)
+        prefix = "" if path == "/" else path
+        result: List[str] = []
+        for name in sorted(node.children):
+            child_path = f"{prefix}/{name}"
+            result.append(child_path)
+            result.extend(self.walk(child_path))
+        return result
+
+    # -- internals --------------------------------------------------------------
+
+    def _find(self, path: str) -> _ZNode:
+        node = self._root
+        for part in _validate_path(path):
+            node = node.children.get(part)
+            if node is None:
+                raise NoNodeError(path)
+        return node
+
+    def _resolve_parent(self, parts: List[str], make_parents: bool) -> _ZNode:
+        node = self._root
+        for part in parts[:-1]:
+            child = node.children.get(part)
+            if child is None:
+                if not make_parents:
+                    raise NoNodeError("/" + "/".join(parts[:-1]))
+                self._op_seq += 1
+                child = _ZNode(None, None, self._op_seq)
+                node.children[part] = child
+            node = child
+        return node
+
+    def _fire_data_watches(self, path: str, kind: str) -> None:
+        pending = self._pending_exists_watches.pop(path, [])
+        try:
+            node = self._find(path)
+        except NoNodeError:
+            node = None
+        watches = pending
+        if node is not None and kind != WatchedEvent.CREATED:
+            watches = node.data_watches + pending
+            node.data_watches = []
+        self._notify(watches, WatchedEvent(kind, path))
+
+    def _fire_child_watches(self, parent_parts: List[str]) -> None:
+        parent_path = "/" + "/".join(parent_parts) if parent_parts else "/"
+        try:
+            parent = self._find(parent_path)
+        except NoNodeError:
+            return
+        self._notify(parent.child_watches, WatchedEvent(WatchedEvent.CHILD, parent_path))
+        parent.child_watches = []
+
+    @staticmethod
+    def _notify(watches: List[Callable[[WatchedEvent], None]], event: WatchedEvent) -> None:
+        for watch in list(watches):
+            watch(event)

@@ -1,0 +1,36 @@
+"""E-STREAMHUB elasticity: probes, policy, enforcer, manager (paper §IV–V)."""
+
+from .probes import HostProbe, ProbeCollector, ProbeSet, SliceProbe
+from .policy import ElasticityPolicy, Violation, ViolationKind
+from .selection import (
+    SliceLoad,
+    select_slices,
+    select_slices_arbitrary,
+    select_slices_greedy_cpu,
+)
+from .binpack import HostBin, NEW_HOST_PREFIX, Placement, first_fit_decreasing
+from .enforcer import ElasticityEnforcer, PlannedMigration, ScalingDecision
+from .manager import ElasticityManager, ManagerRecord
+
+__all__ = [
+    "ElasticityEnforcer",
+    "ElasticityManager",
+    "ElasticityPolicy",
+    "HostBin",
+    "HostProbe",
+    "ManagerRecord",
+    "NEW_HOST_PREFIX",
+    "Placement",
+    "PlannedMigration",
+    "ProbeCollector",
+    "ProbeSet",
+    "ScalingDecision",
+    "SliceLoad",
+    "SliceProbe",
+    "Violation",
+    "ViolationKind",
+    "first_fit_decreasing",
+    "select_slices",
+    "select_slices_arbitrary",
+    "select_slices_greedy_cpu",
+]

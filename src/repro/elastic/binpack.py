@@ -1,0 +1,100 @@
+"""Slice placement: First Fit bin packing (paper §V, second step).
+
+Hosts are bins whose capacity reflects the CPU resources still available
+below the target utilization; each migrating slice is an item weighing its
+measured CPU usage.  Slices are placed greedily in decreasing order of CPU
+utilization (First Fit Decreasing); when the spare capacity of the running
+hosts cannot accommodate an item, the enforcer derives an allocation
+decision for a new host.  Memory acts as a placement constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .selection import SliceLoad
+
+__all__ = ["HostBin", "Placement", "first_fit_decreasing", "NEW_HOST_PREFIX"]
+
+#: Destination prefix for hosts that must be freshly provisioned.
+NEW_HOST_PREFIX = "new-"
+
+
+@dataclass
+class HostBin:
+    """Remaining capacity of one (existing or planned) host."""
+
+    host_id: str
+    cpu_capacity_cores: float
+    memory_capacity_bytes: int
+    cpu_used_cores: float = 0.0
+    memory_used_bytes: int = 0
+
+    def fits(self, item: SliceLoad) -> bool:
+        return (
+            self.cpu_used_cores + item.cpu_cores <= self.cpu_capacity_cores + 1e-12
+            and self.memory_used_bytes + item.memory_bytes
+            <= self.memory_capacity_bytes
+        )
+
+    def add(self, item: SliceLoad) -> None:
+        self.cpu_used_cores += item.cpu_cores
+        self.memory_used_bytes += item.memory_bytes
+
+
+@dataclass
+class Placement:
+    """Result of a packing round."""
+
+    #: slice id → destination host id (possibly a ``new-<i>`` placeholder).
+    assignments: Dict[str, str]
+    #: Number of fresh hosts the plan requires.
+    new_hosts: int
+
+    @property
+    def uses_new_hosts(self) -> bool:
+        return self.new_hosts > 0
+
+
+def first_fit_decreasing(
+    items: Sequence[SliceLoad],
+    bins: List[HostBin],
+    new_host_cpu_capacity: float,
+    new_host_memory_capacity: int,
+    allow_new_hosts: bool = True,
+    max_new_hosts: Optional[int] = None,
+) -> Optional[Placement]:
+    """Place ``items`` into ``bins``, opening new hosts when needed.
+
+    Returns ``None`` when the items cannot be placed (new hosts exhausted
+    or disallowed, or an item larger than any bin).
+    """
+    assignments: Dict[str, str] = {}
+    new_bins: List[HostBin] = []
+    ordered = sorted(items, key=lambda s: s.cpu_cores, reverse=True)
+    for item in ordered:
+        placed = False
+        for host_bin in bins + new_bins:
+            if host_bin.fits(item):
+                host_bin.add(item)
+                assignments[item.slice_id] = host_bin.host_id
+                placed = True
+                break
+        if placed:
+            continue
+        if not allow_new_hosts:
+            return None
+        if max_new_hosts is not None and len(new_bins) >= max_new_hosts:
+            return None
+        fresh = HostBin(
+            host_id=f"{NEW_HOST_PREFIX}{len(new_bins)}",
+            cpu_capacity_cores=new_host_cpu_capacity,
+            memory_capacity_bytes=new_host_memory_capacity,
+        )
+        if not fresh.fits(item):
+            return None  # item larger than an empty host: unplaceable
+        fresh.add(item)
+        assignments[item.slice_id] = fresh.host_id
+        new_bins.append(fresh)
+    return Placement(assignments=assignments, new_hosts=len(new_bins))

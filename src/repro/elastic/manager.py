@@ -1,0 +1,282 @@
+"""The E-STREAMHUB manager: configuration, heartbeats, orchestration.
+
+The manager (paper §IV-B) owns the system configuration, collects probes
+from all hosts via heartbeats, forwards them to the elasticity enforcer
+and orchestrates the resulting migrations, host allocations and releases.
+The whole manager state — slice placement, the managed host set, and the
+migration log — is mirrored into a ZooKeeper-like coordination kernel so a
+failed manager can be restarted from the shared state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..cluster import CloudProvider, Host
+from ..coord import CoordinationKernel, NoNodeError
+from ..engine import MigrationReport
+from ..sim import Environment
+from .binpack import NEW_HOST_PREFIX
+from .enforcer import ElasticityEnforcer, ScalingDecision
+from .policy import ElasticityPolicy
+from .probes import ProbeCollector, ProbeSet
+
+__all__ = ["ElasticityManager", "ManagerRecord"]
+
+_ROOT = "/estreamhub"
+
+
+@dataclass
+class ManagerRecord:
+    """One entry of the manager's decision history."""
+
+    time: float
+    kind: str
+    migrations: int
+    new_hosts: int
+    released_hosts: int
+    failures: int = 0
+
+
+class ElasticityManager:
+    """Drives elastic scaling of one hub deployment."""
+
+    def __init__(
+        self,
+        hub,
+        cloud: CloudProvider,
+        engine_hosts: List[Host],
+        policy: Optional[ElasticityPolicy] = None,
+        enforcer: Optional[ElasticityEnforcer] = None,
+        coord: Optional[CoordinationKernel] = None,
+        probe_interval_s: float = 5.0,
+    ):
+        self.hub = hub
+        self.cloud = cloud
+        self.env: Environment = hub.env
+        self.policy = policy or ElasticityPolicy()
+        self.enforcer = enforcer or ElasticityEnforcer(
+            self.policy,
+            host_cores=cloud.spec.cores,
+            host_memory_bytes=cloud.spec.memory_bytes,
+        )
+        self.coord = coord or CoordinationKernel()
+        self.engine_hosts: List[Host] = list(engine_hosts)
+        if not self.engine_hosts:
+            raise ValueError("need at least one initial engine host")
+        self.collector = ProbeCollector(
+            hub.runtime,
+            hub.engine_slice_ids(),
+            hosts_fn=lambda: list(self.engine_hosts),
+            cost_model=hub.config.cost_model,
+            interval_s=probe_interval_s,
+        )
+        self.collector.subscribe(self._on_probes)
+        #: Extra probe listeners (experiment recorders).
+        self.probe_listeners = []
+        self.history: List[ManagerRecord] = []
+        self.migration_reports: List[MigrationReport] = []
+        self._executing = False
+        self._last_action_at = -float("inf")
+        self._started = False
+        self._init_config()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin heartbeat collection and policy enforcement."""
+        if self._started:
+            raise RuntimeError("manager already started")
+        self._started = True
+        self.collector.start()
+
+    def stop(self) -> None:
+        """Stop enforcing (manager shutdown or simulated failure)."""
+        self.collector.stop()
+        self._started = False
+
+    @property
+    def host_count(self) -> int:
+        return len(self.engine_hosts)
+
+    @property
+    def in_grace_period(self) -> bool:
+        return (self.env.now - self._last_action_at) < self.policy.grace_period_s
+
+    # -- probe handling -----------------------------------------------------------
+
+    def _on_probes(self, probes: ProbeSet) -> None:
+        for listener in list(self.probe_listeners):
+            listener(probes)
+        if self._executing or self.in_grace_period:
+            return
+        violation = self.policy.check(probes)
+        if violation is None:
+            return
+        decision = self.enforcer.resolve(probes, violation)
+        if decision is None or decision.is_empty:
+            return
+        self._executing = True
+        self.env.process(self._execute(decision))
+
+    # -- decision execution ----------------------------------------------------------
+
+    def _execute(self, decision: ScalingDecision):
+        failures = 0
+        try:
+            new_hosts: Dict[str, Host] = {}
+            for index in range(decision.new_hosts):
+                try:
+                    host = yield from self.cloud.provision()
+                except RuntimeError:
+                    # Provider capacity exhausted: proceed with what we got;
+                    # migrations targeting missing hosts count as failures.
+                    failures += decision.new_hosts - index
+                    break
+                placeholder = f"{NEW_HOST_PREFIX}{index}"
+                new_hosts[placeholder] = host
+                self.engine_hosts.append(host)
+                self._record_host(host)
+
+            hosts_by_id = {h.host_id: h for h in self.engine_hosts}
+            migrations = []
+            for planned in decision.migrations:
+                destination = new_hosts.get(planned.to_host) or hosts_by_id.get(
+                    planned.to_host
+                )
+                if destination is None:
+                    failures += 1
+                    continue
+                migrations.append(self.hub.runtime.migrate(planned.slice_id, destination))
+            for process in migrations:
+                try:
+                    report = yield process
+                except Exception:
+                    failures += 1
+                    continue
+                self.migration_reports.append(report)
+                self._record_migration(report)
+
+            released = 0
+            placement = self.hub.runtime.placement()
+            occupied = set(placement.values())
+            for host_id in decision.release_hosts:
+                host = hosts_by_id.get(host_id)
+                if host is None or host_id in occupied:
+                    failures += 1
+                    continue
+                self.engine_hosts.remove(host)
+                self.cloud.release(host)
+                self._unrecord_host(host_id)
+                released += 1
+
+            self._sync_placement()
+            self.history.append(
+                ManagerRecord(
+                    time=self.env.now,
+                    kind=decision.kind.value,
+                    migrations=len(decision.migrations),
+                    new_hosts=decision.new_hosts,
+                    released_hosts=released,
+                    failures=failures,
+                )
+            )
+        finally:
+            self._last_action_at = self.env.now
+            self._executing = False
+
+    # -- coordination-kernel mirror ------------------------------------------------------
+
+    def _init_config(self) -> None:
+        self.coord.ensure_path(f"{_ROOT}/placement")
+        self.coord.ensure_path(f"{_ROOT}/hosts")
+        self.coord.ensure_path(f"{_ROOT}/migrations")
+        for host in self.engine_hosts:
+            self._record_host(host)
+        self._sync_placement()
+
+    def _record_host(self, host: Host) -> None:
+        try:
+            self.coord.create(
+                f"{_ROOT}/hosts/{host.host_id}", data={"cores": host.spec.cores}
+            )
+        except Exception:
+            pass  # restart: node already present
+
+    def _unrecord_host(self, host_id: str) -> None:
+        try:
+            self.coord.delete(f"{_ROOT}/hosts/{host_id}")
+        except NoNodeError:
+            pass
+
+    def _sync_placement(self) -> None:
+        placement = self.hub.runtime.placement()
+        for slice_id, host_id in placement.items():
+            path = f"{_ROOT}/placement/{slice_id.replace(':', '_')}"
+            if self.coord.exists(path) is None:
+                self.coord.create(path, data=host_id)
+            else:
+                self.coord.set(path, host_id)
+
+    def _record_migration(self, report: MigrationReport) -> None:
+        self.coord.create(
+            f"{_ROOT}/migrations/m-",
+            data={
+                "slice": report.slice_id,
+                "from": report.source_host,
+                "to": report.destination_host,
+                "duration_s": report.duration_s,
+            },
+            sequential=True,
+        )
+
+    # -- recovery --------------------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        hub,
+        cloud: CloudProvider,
+        coord: CoordinationKernel,
+        policy: Optional[ElasticityPolicy] = None,
+        enforcer: Optional[ElasticityEnforcer] = None,
+        probe_interval_s: float = 5.0,
+    ) -> "ElasticityManager":
+        """Rebuild a manager from the configuration stored in ``coord``.
+
+        Used after a manager failure (paper §IV-B): the managed host set
+        and slice placement were mirrored into the coordination kernel, so
+        a standby manager (typically promoted by a
+        :class:`~repro.coord.LeaderElection`) resumes from shared state.
+        """
+        host_ids = coord.get_children(f"{_ROOT}/hosts")
+        engine_hosts = []
+        for host_id in host_ids:
+            host = cloud.host(host_id)
+            if not host.released:
+                engine_hosts.append(host)
+        return cls(
+            hub,
+            cloud,
+            engine_hosts,
+            policy=policy,
+            enforcer=enforcer,
+            coord=coord,
+            probe_interval_s=probe_interval_s,
+        )
+
+    def stored_placement(self) -> Dict[str, str]:
+        """Slice placement as recorded in the coordination kernel.
+
+        A restarted manager rebuilds its view of the system from this,
+        tolerating a manager failure (paper §IV-B).
+        """
+        placement = {}
+        for name in self.coord.get_children(f"{_ROOT}/placement"):
+            data, _ = self.coord.get(f"{_ROOT}/placement/{name}")
+            placement[name.replace("_", ":")] = data
+        return placement
+
+    def stored_hosts(self) -> List[str]:
+        return self.coord.get_children(f"{_ROOT}/hosts")

@@ -1,0 +1,94 @@
+"""Application surface of an operator slice.
+
+All slices of an operator run the same :class:`SliceHandler` code (paper
+§III); the handler receives events, may mutate its private slice state and
+emits events downstream through the :class:`SliceContext`.  A handler has
+no access to the state of other slices, even of the same operator.
+
+The handler additionally exposes:
+
+* ``cost(event)`` — the CPU seconds the engine charges on the hosting
+  host's cores before the event is processed (the calibrated service
+  demand, e.g. matching cost proportional to stored subscriptions);
+* ``lock_mode(event)`` — "R" or "W", deciding whether the event may be
+  processed concurrently with others on the slice;
+* state export/import — the explicit state management that makes slice
+  migration application-agnostic (paper §IV).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, TYPE_CHECKING
+
+from .event import StreamEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import EngineRuntime
+
+__all__ = ["SliceHandler", "SliceContext", "BROADCAST"]
+
+#: Routing key requesting delivery to every slice of the target operator.
+BROADCAST = object()
+
+
+class SliceContext:
+    """Handed to ``SliceHandler.process``; emits events downstream."""
+
+    def __init__(self, runtime: "EngineRuntime", slice_id: str):
+        self._runtime = runtime
+        self.slice_id = slice_id
+
+    @property
+    def now(self) -> float:
+        return self._runtime.env.now
+
+    def emit(self, operator: str, kind: str, payload: Any, size_bytes: int, key: int) -> None:
+        """Send to the slice ``key mod n`` of ``operator`` (modulo hashing)."""
+        self._runtime.route(self.slice_id, operator, kind, payload, size_bytes, key)
+
+    def emit_broadcast(self, operator: str, kind: str, payload: Any, size_bytes: int) -> None:
+        """Send a copy to every slice of ``operator``."""
+        self._runtime.route(self.slice_id, operator, kind, payload, size_bytes, BROADCAST)
+
+    def slice_index(self) -> int:
+        """Index of this slice within its operator."""
+        return int(self.slice_id.split(":", 1)[1])
+
+    def operator_slice_count(self, operator: str) -> int:
+        """Number of (logical) slices of ``operator`` — static by design."""
+        return self._runtime.slice_count(operator)
+
+
+class SliceHandler(ABC):
+    """Per-slice application logic.  Subclasses own the slice state."""
+
+    @abstractmethod
+    def process(self, event: StreamEvent, ctx: SliceContext) -> None:
+        """Handle one event, possibly emitting downstream via ``ctx``."""
+
+    def cost(self, event: StreamEvent) -> float:
+        """CPU seconds charged for processing ``event`` (default: free)."""
+        return 0.0
+
+    def lock_mode(self, event: StreamEvent) -> str:
+        """Lock taken while processing: "R" (concurrent) or "W" (exclusive)."""
+        return "R"
+
+    # -- explicit state management (migration support) -----------------------
+
+    def export_state(self) -> Any:
+        """Serializable snapshot of the slice state (None if stateless)."""
+        return None
+
+    def import_state(self, state: Any) -> None:
+        """Install a snapshot produced by :meth:`export_state`."""
+        if state is not None:
+            raise NotImplementedError(
+                f"{type(self).__name__} received state but does not implement "
+                "import_state"
+            )
+
+    def state_size_bytes(self) -> int:
+        """Serialized size of the state; drives migration transfer time."""
+        return 0

@@ -1,0 +1,241 @@
+"""A deployed instance of a logical operator slice on a host.
+
+A *logical* slice (e.g. ``M:3``) exists exactly once in the system; during
+a migration it is temporarily backed by two *instances*: the active one on
+the origin host and a buffering one on the destination host receiving
+duplicated events (paper §IV-A, Figure 3).
+
+Each active instance runs ``parallelism`` worker processes pulling from a
+shared FIFO inbox — the thread pool sized to the host's cores that gives
+StreamMine3G its vertical scalability.  Workers take the slice RW lock in
+the mode requested by the handler, charge the handler's CPU cost on the
+host's cores, then run the handler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, TYPE_CHECKING
+
+from ..cluster import Host
+from ..sim import Environment, Event, Interrupt, Store
+from .event import StreamEvent
+from .handler import SliceContext, SliceHandler
+from .locks import RWLock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import EngineRuntime
+
+__all__ = ["SliceInstance"]
+
+
+class SliceInstance:
+    """One instance of a logical slice, bound to a host."""
+
+    def __init__(
+        self,
+        runtime: "EngineRuntime",
+        logical_id: str,
+        handler: SliceHandler,
+        host: Host,
+        parallelism: int,
+        buffering: bool = False,
+    ):
+        if parallelism <= 0:
+            raise ValueError("parallelism must be positive")
+        self.runtime = runtime
+        self.env: Environment = runtime.env
+        self.logical_id = logical_id
+        self.handler = handler
+        self.host = host
+        self.parallelism = parallelism
+        self.inbox: Store = Store(self.env)
+        self.lock = RWLock(self.env)
+        #: Per-source highest processed sequence number (the timestamp
+        #: vector copied with the state during migration).
+        self.last_processed: Dict[str, int] = {}
+        #: Per-source last received sequence number (original deliveries).
+        self.last_received: Dict[str, int] = {}
+        #: Per-source first original sequence number this instance received;
+        #: originals arrive contiguously per channel (FIFO), so a replayed
+        #: event is a duplicate exactly when it falls in
+        #: [first_original, last_received].
+        self._first_original: Dict[str, int] = {}
+        #: Frozen vector installed at activation after a migration: events
+        #: at or below it were already processed by the origin instance and
+        #: must be dropped.  Never-migrated instances drop nothing.
+        self._dedup_vector: Dict[str, int] = {}
+        self.processed_count = 0
+        self.dropped_duplicates = 0
+        self.dropped_replays = 0
+        #: True while the instance is reprocessing replayed events after a
+        #: crash recovery; its emissions are flagged for receiver-side
+        #: deduplication during this window.
+        self.recovering = False
+        self._busy = 0
+        self._halted = False
+        self._destroyed = False
+        self._buffering = buffering
+        info = runtime.operators.get(logical_id.split(":", 1)[0])
+        self._replay_dedup = info.replay_dedup if info is not None else True
+        self._workers: List = []
+        self._ctx = SliceContext(runtime, logical_id)
+        #: (cutoffs, event) pairs resolved as events are processed.
+        self._progress_watchers: List[Tuple[Dict[str, int], Event]] = []
+        self._quiescence_watchers: List[Event] = []
+        if not buffering:
+            self._start_workers()
+
+    # -- delivery -------------------------------------------------------------
+
+    def deliver(self, event: StreamEvent) -> None:
+        """Entry point for the network layer."""
+        if self._destroyed:
+            return
+        if event.replayed and self._replay_dedup:
+            first = self._first_original.get(event.source)
+            if (
+                first is not None
+                and first <= event.seq <= self.last_received.get(event.source, -1)
+            ):
+                # Already received as an original delivery: a duplicate.
+                self.dropped_replays += 1
+                return
+        else:
+            if event.source not in self._first_original:
+                self._first_original[event.source] = event.seq
+            previous = self.last_received.get(event.source, -1)
+            if event.seq > previous:
+                self.last_received[event.source] = event.seq
+        self.inbox.put_nowait(event)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.inbox)
+
+    @property
+    def is_buffering(self) -> bool:
+        return self._buffering
+
+    @property
+    def busy_workers(self) -> int:
+        return self._busy
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def activate(self, vector: Dict[str, int]) -> None:
+        """Turn a buffering instance live, resuming after ``vector``.
+
+        Buffered (and future) events with sequence numbers at or below the
+        vector entry of their source were already processed by the origin
+        instance before the state was copied; workers drop them.
+        """
+        if not self._buffering:
+            raise RuntimeError(f"{self.logical_id}: instance is already active")
+        self._buffering = False
+        self.last_processed = dict(vector)
+        self._dedup_vector = dict(vector)
+        self._start_workers()
+
+    def halt(self) -> Event:
+        """Stop processing; the returned event fires at quiescence.
+
+        Events queued or arriving after the halt are dropped — the halt is
+        only ever requested once duplication guarantees every such event is
+        also delivered to the destination instance.
+        """
+        self._halted = True
+        event = Event(self.env)
+        self._quiescence_watchers.append(event)
+        self._check_quiescence()
+        return event
+
+    def destroy(self) -> None:
+        """Tear the instance down; delivered events are dropped."""
+        self._destroyed = True
+        self._halted = True
+        for worker in self._workers:
+            if worker.is_alive:
+                worker.interrupt("destroyed")
+        self._workers = []
+
+    # -- migration support -------------------------------------------------------
+
+    def wait_until_processed(self, cutoffs: Dict[str, int]) -> Event:
+        """Event firing once ``last_processed[src] >= cutoffs[src]`` for all."""
+        event = Event(self.env)
+        if self._satisfies(cutoffs):
+            event.succeed()
+        else:
+            self._progress_watchers.append((cutoffs, event))
+        return event
+
+    def _satisfies(self, cutoffs: Dict[str, int]) -> bool:
+        return all(
+            self.last_processed.get(source, -1) >= cutoff
+            for source, cutoff in cutoffs.items()
+            if cutoff >= 0
+        )
+
+    def _check_progress(self) -> None:
+        if not self._progress_watchers:
+            return
+        remaining = []
+        for cutoffs, event in self._progress_watchers:
+            if self._satisfies(cutoffs):
+                event.succeed()
+            else:
+                remaining.append((cutoffs, event))
+        self._progress_watchers = remaining
+
+    def _check_quiescence(self) -> None:
+        if self._halted and self._busy == 0 and self._quiescence_watchers:
+            watchers, self._quiescence_watchers = self._quiescence_watchers, []
+            for event in watchers:
+                event.succeed()
+
+    # -- processing -----------------------------------------------------------
+
+    def _start_workers(self) -> None:
+        self._workers = [
+            self.env.process(self._worker_loop()) for _ in range(self.parallelism)
+        ]
+
+    def _worker_loop(self):
+        try:
+            while True:
+                event: StreamEvent = self.inbox.try_get()
+                if event is None:
+                    event = yield self.inbox.get()
+                if self._destroyed or self._halted:
+                    continue  # safe drop: duplicated to the new instance
+                if (
+                    self._dedup_vector
+                    and event.seq <= self._dedup_vector.get(event.source, -1)
+                ):
+                    self.dropped_duplicates += 1
+                    continue
+                self._busy += 1
+                # Replay after a crash is processed exclusively: re-emission
+                # sequence numbers realign with the originals only if inputs
+                # are reprocessed in order (see recovery.py).
+                mode = "W" if self.recovering else self.handler.lock_mode(event)
+                try:
+                    if not self.lock.try_acquire(mode):
+                        yield self.lock.acquire(mode)
+                    try:
+                        cost = self.handler.cost(event)
+                        if cost > 0.0:
+                            yield from self.host.cpu.run(cost, tag=self.logical_id)
+                        self.handler.process(event, self._ctx)
+                    finally:
+                        self.lock.release(mode)
+                    previous = self.last_processed.get(event.source, -1)
+                    if event.seq > previous:
+                        self.last_processed[event.source] = event.seq
+                    self.processed_count += 1
+                finally:
+                    self._busy -= 1
+                self._check_progress()
+                self._check_quiescence()
+        except Interrupt:
+            return

@@ -1,0 +1,86 @@
+"""Reader/writer lock guarding slice state.
+
+StreamMine3G lets multiple threads of the per-host pool process events of
+one slice concurrently when the processing is stateless or read-only; a
+read/write lock serializes state-mutating events (paper §III).  Matching a
+publication takes the lock in R mode, storing a subscription in W mode.
+
+Grants are FIFO-fair: a waiting writer blocks later readers, preventing
+writer starvation under continuous publication flow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from ..sim import Environment, Event
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """FIFO-fair reader/writer lock built on simulation events."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._readers = 0
+        self._writer = False
+        self._waiting: Deque[Tuple[str, Event]] = deque()
+
+    @property
+    def idle(self) -> bool:
+        return self._readers == 0 and not self._writer and not self._waiting
+
+    def try_acquire(self, mode: str) -> bool:
+        """Fast path: take the lock immediately if possible (no sim events)."""
+        if mode == "R":
+            if not self._writer and not self._waiting:
+                self._readers += 1
+                return True
+            return False
+        if mode == "W":
+            if not self._writer and self._readers == 0 and not self._waiting:
+                self._writer = True
+                return True
+            return False
+        raise ValueError(f"unknown lock mode {mode!r}")
+
+    def acquire(self, mode: str) -> Event:
+        """Slow path: returns an event that fires when the lock is granted."""
+        if mode not in ("R", "W"):
+            raise ValueError(f"unknown lock mode {mode!r}")
+        event = Event(self.env)
+        self._waiting.append((mode, event))
+        self._grant()
+        return event
+
+    def release(self, mode: str) -> None:
+        if mode == "R":
+            if self._readers <= 0:
+                raise RuntimeError("release of a reader lock that is not held")
+            self._readers -= 1
+        elif mode == "W":
+            if not self._writer:
+                raise RuntimeError("release of a writer lock that is not held")
+            self._writer = False
+        else:
+            raise ValueError(f"unknown lock mode {mode!r}")
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._waiting:
+            mode, event = self._waiting[0]
+            if mode == "R":
+                if self._writer:
+                    return
+                self._waiting.popleft()
+                self._readers += 1
+                event.succeed()
+            else:
+                if self._writer or self._readers > 0:
+                    return
+                self._waiting.popleft()
+                self._writer = True
+                event.succeed()
+                return

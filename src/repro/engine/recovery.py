@@ -1,0 +1,285 @@
+"""Passive replication: periodic checkpoints and crash recovery.
+
+The :class:`ReliabilityCoordinator` implements the passive scheme the
+paper's runtime supports (§III, StreamMine3G ref [26]):
+
+* every managed slice is checkpointed periodically (state + timestamp
+  vector + outgoing sequence counters) into a :class:`CheckpointStore`;
+* upstream retention buffers (``EngineRuntime.enable_retention``) keep the
+  events each channel sent since the receiver's last checkpoint;
+* when a host crash is detected, each slice that lived on it is recreated
+  on a replacement host from its last checkpoint, and the retained suffix
+  of every inbound channel is replayed to it.
+
+Exactly-once processing is restored end to end: replayed inputs the crash
+victim had already processed are filtered by the checkpoint vector;
+re-emissions the downstream had already received carry their original
+sequence numbers (regenerated from the checkpointed counters) and a
+``replayed`` flag, and are dropped by receive-side deduplication.
+
+Determinism caveat: sequence-number realignment of re-emissions requires
+reprocessing inputs in the original order.  Replay is processed
+exclusively (serialized on the slice lock) so this holds per input
+channel; across *multiple* input channels it additionally requires a
+deterministic channel merge order, which StreamMine3G's deterministic
+execution provides but this engine does not enforce — with multiple
+upstream channels, recovery guarantees state correctness and
+channel-level exactly-once, while individual re-emission payloads may
+pair with different sequence numbers than the originals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from ..cluster import Host
+from .checkpoint import STABLE_STORAGE, Checkpoint, CheckpointStore
+from .runtime import EngineRuntime
+
+__all__ = ["ReliabilityCoordinator", "RecoveryReport"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryReport:
+    """Outcome of recovering one slice after a crash."""
+
+    slice_id: str
+    replacement_host: str
+    restored_epoch: Optional[int]
+    replayed_events: int
+    started_at: float
+    completed_at: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.completed_at - self.started_at
+
+
+class ReliabilityCoordinator:
+    """Checkpoints slices and recovers them after host crashes."""
+
+    def __init__(
+        self,
+        runtime: EngineRuntime,
+        store: Optional[CheckpointStore] = None,
+        interval_s: float = 10.0,
+        replacement_host_fn: Optional[Callable[[], Host]] = None,
+    ):
+        if interval_s <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self.runtime = runtime
+        self.env = runtime.env
+        self.store = store or CheckpointStore()
+        self.interval_s = interval_s
+        self.replacement_host_fn = replacement_host_fn
+        self._epochs: Dict[str, int] = {}
+        self._managed: List[str] = []
+        self._started = False
+        self.recovery_reports: List[RecoveryReport] = []
+        runtime.enable_retention()
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def start(self, slice_ids: List[str]) -> None:
+        """Begin periodic checkpointing of ``slice_ids`` (staggered)."""
+        if self._started:
+            raise RuntimeError("coordinator already started")
+        if not slice_ids:
+            raise ValueError("need at least one slice to manage")
+        self._started = True
+        self._managed = list(slice_ids)
+        for index, slice_id in enumerate(self._managed):
+            offset = self.interval_s * index / len(self._managed)
+            self.env.process(self._checkpoint_loop(slice_id, offset))
+
+    def checkpoint_now(self, slice_id: str):
+        """Checkpoint one slice; returns the coordinating process."""
+        return self.env.process(self._checkpoint(slice_id))
+
+    def _checkpoint_loop(self, slice_id: str, offset: float):
+        yield self.env.timeout(offset)
+        while True:
+            logical = self.runtime.slices.get(slice_id)
+            if logical is not None and logical.active is not None:
+                instance = logical.active
+                if not instance.is_buffering and not instance.host.released:
+                    yield from self._checkpoint(slice_id)
+            yield self.env.timeout(self.interval_s)
+
+    def _checkpoint(self, slice_id: str):
+        logical = self.runtime.slices[slice_id]
+        instance = logical.active
+        if instance is None:
+            raise RuntimeError(f"slice {slice_id} is not deployed")
+        # Atomic capture under the slice's write lock.
+        if not instance.lock.try_acquire("W"):
+            yield instance.lock.acquire("W")
+        try:
+            state = instance.handler.export_state()
+            vector = dict(instance.last_processed)
+            counters = self.runtime.seq_counters_from(slice_id)
+            state_bytes = instance.handler.state_size_bytes()
+        finally:
+            instance.lock.release("W")
+
+        # Serialize on the origin CPU, ship to stable storage.
+        costs = self.runtime.migration_costs
+        serialize_cpu = state_bytes * costs.serialize_s_per_byte
+        if serialize_cpu > 0:
+            yield from instance.host.cpu.run(serialize_cpu, tag=slice_id)
+        if state_bytes > 0:
+            shipped = self.env.event()
+            self.runtime.network.send(
+                instance.host.host_id,
+                STABLE_STORAGE,
+                state_bytes,
+                None,
+                lambda _payload: shipped.succeed(),
+            )
+            yield shipped
+
+        epoch = self._epochs.get(slice_id, 0) + 1
+        self._epochs[slice_id] = epoch
+        checkpoint = Checkpoint(
+            slice_id=slice_id,
+            epoch=epoch,
+            captured_at=self.env.now,
+            state=state,
+            vector=vector,
+            seq_counters=counters,
+            state_bytes=state_bytes,
+        )
+        self.store.put(checkpoint)
+        # The sender side no longer needs events covered by this vector.
+        if self.runtime.retention is not None:
+            self.runtime.retention.prune_for_destination(slice_id, vector)
+        return checkpoint
+
+    # -- crash recovery ------------------------------------------------------------
+
+    def handle_host_crash(self, host: Host):
+        """Recover every slice that was running on ``host``.
+
+        Returns the coordinating process (value: list of RecoveryReports).
+        """
+        return self.env.process(self._recover_host(host))
+
+    def _recover_host(self, host: Host):
+        victims = [
+            slice_id
+            for slice_id, logical in self.runtime.slices.items()
+            if logical.active is not None and logical.active.host is host
+        ]
+        reports = []
+        for slice_id in victims:
+            self.runtime.slices[slice_id].active.destroy()
+        for slice_id in victims:
+            report = yield from self._recover_slice(slice_id)
+            reports.append(report)
+        return reports
+
+    def _recover_slice(self, slice_id: str):
+        from .instance import SliceInstance
+
+        started_at = self.env.now
+        if self.replacement_host_fn is None:
+            raise RuntimeError("no replacement_host_fn configured")
+        replacement = self.replacement_host_fn()
+        logical = self.runtime.slices[slice_id]
+        info = self.runtime.operators[logical.operator]
+        checkpoint = self.store.get(slice_id)
+
+        instance = SliceInstance(
+            self.runtime,
+            slice_id,
+            info.handler_factory(logical.index),
+            replacement,
+            parallelism=info.parallelism,
+            buffering=True,
+        )
+        logical.active = instance  # new original events start flowing here
+
+        vector: Dict[str, int] = {}
+        if checkpoint is not None:
+            # Fetch the state from stable storage and install it.
+            fetched = self.env.event()
+            self.runtime.network.send(
+                STABLE_STORAGE,
+                replacement.host_id,
+                checkpoint.state_bytes,
+                None,
+                lambda _payload: fetched.succeed(),
+            )
+            yield fetched
+            costs = self.runtime.migration_costs
+            deserialize_cpu = checkpoint.state_bytes * costs.deserialize_s_per_byte
+            if deserialize_cpu > 0:
+                yield from replacement.cpu.run(deserialize_cpu, tag=slice_id)
+            instance.handler.import_state(checkpoint.state)
+            vector = dict(checkpoint.vector)
+            self.runtime.restore_seq_counters(slice_id, checkpoint.seq_counters)
+
+        # Replay the retained suffix of every inbound channel.  Replayed
+        # events must be processed *before* any original events that were
+        # buffered while the replacement was being set up: re-emissions
+        # regenerate their original sequence numbers only if inputs are
+        # reprocessed in their original per-source order.  The replay is
+        # therefore spliced at the *front* of the inbox, and buffered
+        # originals it covers (same source and sequence range — retention
+        # recorded them too) are dropped as duplicates.
+        replay_cutoffs: Dict[str, int] = {}
+        replay_events = []
+        replay_bytes_by_source: Dict[str, int] = {}
+        retention = self.runtime.retention
+        if retention is not None:
+            for source, buffer in retention.channels_to(slice_id):
+                events = buffer.suffix_after(vector.get(source, -1))
+                if not events:
+                    continue
+                replay_cutoffs[source] = events[-1].seq
+                replay_bytes_by_source[source] = sum(e.size_bytes for e in events)
+                replay_events.extend(
+                    dataclasses.replace(event, replayed=True) for event in events
+                )
+
+        # Charge the replay transfers (one bulk send per channel).
+        transfers = []
+        for source, size in replay_bytes_by_source.items():
+            done = self.env.event()
+            self.runtime.network.send(
+                self.runtime._source_host_id(source),
+                replacement.host_id,
+                size,
+                None,
+                lambda _payload, _done=done: _done.succeed(),
+            )
+            transfers.append(done)
+        for done in transfers:
+            yield done
+
+        surviving = [
+            event
+            for event in instance.inbox.items
+            if event.seq > replay_cutoffs.get(event.source, -1)
+        ]
+        instance.inbox.items.clear()
+        instance.inbox.items.extend(replay_events + surviving)
+
+        instance.recovering = True
+        instance.activate(vector)
+        if replay_cutoffs:
+            yield instance.wait_until_processed(replay_cutoffs)
+        instance.recovering = False
+        replayed = len(replay_events)
+
+        report = RecoveryReport(
+            slice_id=slice_id,
+            replacement_host=replacement.host_id,
+            restored_epoch=checkpoint.epoch if checkpoint else None,
+            replayed_events=replayed,
+            started_at=started_at,
+            completed_at=self.env.now,
+        )
+        self.recovery_reports.append(report)
+        return report

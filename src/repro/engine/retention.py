@@ -1,0 +1,95 @@
+"""Upstream event retention for crash recovery (passive replication).
+
+In the passive scheme, every sender keeps the events it sent on each
+channel until the *receiver* has covered them with a checkpoint; after a
+crash, the replacement instance is restored from the last checkpoint and
+the retained suffix of every inbound channel is replayed to it.  Combined
+with the per-channel sequence numbers and receive-side deduplication this
+restores exactly-once processing across host crashes.
+
+Retention is opt-in (``EngineRuntime.enable_retention()``): the paper's
+elasticity experiments run without replication, and unbounded buffers
+would otherwise grow for channels whose receiver never checkpoints.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from .event import StreamEvent
+
+__all__ = ["RetentionBuffer", "RetentionLog"]
+
+
+class RetentionBuffer:
+    """Retained events of one channel, ordered by sequence number."""
+
+    def __init__(self) -> None:
+        self._events: Deque[StreamEvent] = deque()
+
+    def append(self, event: StreamEvent) -> None:
+        """Retain ``event``; re-emissions of already retained sequence
+        numbers (deterministic regeneration during recovery) are skipped."""
+        if self._events and event.seq <= self._events[-1].seq:
+            return
+        self._events.append(event)
+
+    def prune_through(self, seq: int) -> int:
+        """Drop events with sequence numbers ≤ ``seq``; returns the count."""
+        dropped = 0
+        while self._events and self._events[0].seq <= seq:
+            self._events.popleft()
+            dropped += 1
+        return dropped
+
+    def suffix_after(self, seq: int) -> List[StreamEvent]:
+        """Retained events with sequence numbers > ``seq``, in order."""
+        return [e for e in self._events if e.seq > seq]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def bytes_retained(self) -> int:
+        return sum(e.size_bytes for e in self._events)
+
+    @property
+    def highest_seq(self) -> int:
+        return self._events[-1].seq if self._events else -1
+
+
+class RetentionLog:
+    """All channels' retention buffers, keyed by (source, destination)."""
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, str], RetentionBuffer] = {}
+
+    def record(self, source: str, destination: str, event: StreamEvent) -> None:
+        key = (source, destination)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = self._buffers[key] = RetentionBuffer()
+        buffer.append(event)
+
+    def prune_for_destination(self, destination: str, vector: Dict[str, int]) -> int:
+        """Apply a checkpoint vector of ``destination``; returns pruned count."""
+        dropped = 0
+        for (source, dst), buffer in self._buffers.items():
+            if dst == destination and source in vector:
+                dropped += buffer.prune_through(vector[source])
+        return dropped
+
+    def channels_to(self, destination: str) -> List[Tuple[str, RetentionBuffer]]:
+        """(source, buffer) of every channel into ``destination``."""
+        return [
+            (source, buffer)
+            for (source, dst), buffer in self._buffers.items()
+            if dst == destination
+        ]
+
+    def total_events(self) -> int:
+        return sum(len(b) for b in self._buffers.values())
+
+    def total_bytes(self) -> int:
+        return sum(b.bytes_retained for b in self._buffers.values())

@@ -1,0 +1,302 @@
+"""The engine runtime: operators, logical slices, routing, placement.
+
+The runtime owns the operator DAG.  Operators have a *fixed* number of
+logical slices (static partitioning, paper §IV): elasticity moves slices
+between hosts but never changes their count, so the application never has
+to split or merge state.
+
+Routing follows the paper's two primitives: modulo hashing of a key onto
+the destination operator's slices, or broadcast to all of them.  Sequence
+numbers are assigned per (source, destination logical slice) channel at
+emission time, and during a migration each event is transparently
+duplicated to the destination instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..cluster import Host, Network
+from ..sim import Environment
+from .event import StreamEvent
+from .handler import BROADCAST, SliceHandler
+
+__all__ = ["EngineRuntime", "MigrationCosts", "OperatorInfo", "LogicalSlice"]
+
+
+@dataclass(frozen=True)
+class MigrationCosts:
+    """Fixed costs of the migration protocol (see CostModel calibration).
+
+    ``pre_s`` covers creating the destination instance and rewiring the DAG
+    through the shared configuration; ``post_s`` covers the final
+    configuration update and tear-down; the per-byte costs model state
+    (de)serialization CPU on the origin/destination hosts.
+    """
+
+    pre_s: float = 0.11
+    post_s: float = 0.11
+    serialize_s_per_byte: float = 4.9e-9
+    deserialize_s_per_byte: float = 4.9e-9
+
+
+@dataclass
+class OperatorInfo:
+    """Static description of one operator."""
+
+    name: str
+    slice_count: int
+    handler_factory: Callable[[int], SliceHandler]
+    parallelism: int
+    #: Receive-side deduplication of crash-replayed events by sequence
+    #: range.  Operators whose handlers are content-idempotent (they
+    #: tolerate duplicate deliveries semantically, like the pub/sub EP
+    #: join) disable it, sidestepping the multi-channel sequence
+    #: realignment caveat (see recovery.py).
+    replay_dedup: bool = True
+
+
+class LogicalSlice:
+    """A logical slice: stable identity, one active (+ one pending) instance."""
+
+    def __init__(self, operator: str, index: int):
+        self.operator = operator
+        self.index = index
+        self.id = f"{operator}:{index}"
+        self.active = None  # type: Optional[object]
+        self.pending = None  # type: Optional[object]
+
+    def instances(self):
+        if self.pending is not None:
+            return (self.active, self.pending)
+        return (self.active,)
+
+
+class EngineRuntime:
+    """Deploys operators onto hosts and routes events between slices."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        migration_costs: MigrationCosts = MigrationCosts(),
+    ):
+        self.env = env
+        self.network = network
+        self.migration_costs = migration_costs
+        self.operators: Dict[str, OperatorInfo] = {}
+        self.slices: Dict[str, LogicalSlice] = {}
+        #: Sequence counters per (source key, destination logical slice id).
+        self._next_seq: Dict[Tuple[str, str], int] = {}
+        self.migrations_completed = 0
+        #: Upstream retention for crash recovery; None unless enabled.
+        self.retention = None
+
+    # -- topology construction ---------------------------------------------------
+
+    def add_operator(
+        self,
+        name: str,
+        slice_count: int,
+        handler_factory: Callable[[int], SliceHandler],
+        parallelism: int = 8,
+        replay_dedup: bool = True,
+    ) -> None:
+        """Declare an operator with a fixed number of logical slices."""
+        if name in self.operators:
+            raise ValueError(f"operator {name!r} already declared")
+        if slice_count <= 0:
+            raise ValueError("slice_count must be positive")
+        self.operators[name] = OperatorInfo(
+            name, slice_count, handler_factory, parallelism, replay_dedup
+        )
+        for index in range(slice_count):
+            logical = LogicalSlice(name, index)
+            self.slices[logical.id] = logical
+
+    def deploy(self, slice_id: str, host: Host) -> None:
+        """Place the (not yet deployed) logical slice on ``host``."""
+        from .instance import SliceInstance
+
+        logical = self._logical(slice_id)
+        if logical.active is not None:
+            raise RuntimeError(f"slice {slice_id} is already deployed; migrate instead")
+        info = self.operators[logical.operator]
+        handler = info.handler_factory(logical.index)
+        logical.active = SliceInstance(
+            self, slice_id, handler, host, parallelism=info.parallelism
+        )
+
+    def deploy_operator(self, name: str, hosts: List[Host]) -> None:
+        """Round-robin all slices of ``name`` over ``hosts``."""
+        if not hosts:
+            raise ValueError("need at least one host")
+        info = self.operators[name]
+        for index in range(info.slice_count):
+            self.deploy(f"{name}:{index}", hosts[index % len(hosts)])
+
+    # -- introspection ------------------------------------------------------------
+
+    def slice_count(self, operator: str) -> int:
+        return self.operators[operator].slice_count
+
+    def slice_ids(self, operator: Optional[str] = None) -> List[str]:
+        if operator is None:
+            return list(self.slices)
+        info = self.operators[operator]
+        return [f"{operator}:{i}" for i in range(info.slice_count)]
+
+    def host_of(self, slice_id: str) -> Host:
+        return self._active(slice_id).host
+
+    def handler_of(self, slice_id: str) -> SliceHandler:
+        return self._active(slice_id).handler
+
+    def placement(self) -> Dict[str, str]:
+        """slice id → host id for every deployed slice."""
+        return {
+            sid: logical.active.host.host_id
+            for sid, logical in self.slices.items()
+            if logical.active is not None
+        }
+
+    def slice_stats(self, slice_id: str) -> Dict[str, Any]:
+        instance = self._active(slice_id)
+        return {
+            "host": instance.host.host_id,
+            "queue_length": instance.queue_length,
+            "processed": instance.processed_count,
+            "state_bytes": instance.handler.state_size_bytes(),
+            "migrating": self._logical(slice_id).pending is not None,
+        }
+
+    # -- routing --------------------------------------------------------------------
+
+    def route(
+        self,
+        source_key: str,
+        operator: str,
+        kind: str,
+        payload: Any,
+        size_bytes: int,
+        key: Any,
+    ) -> None:
+        """Deliver an event to ``operator`` by modulo hash or broadcast.
+
+        ``source_key`` is the logical id of the emitting slice, or any
+        stable name for an external producer.
+        """
+        info = self.operators.get(operator)
+        if info is None:
+            raise KeyError(f"unknown operator {operator!r}")
+        if key is BROADCAST:
+            indices = range(info.slice_count)
+        else:
+            indices = (int(key) % info.slice_count,)
+        src_host = self._source_host_id(source_key)
+        now = self.env.now
+        # A recovering source regenerates emissions it already made before
+        # the crash; flag them so receivers deduplicate (see recovery.py).
+        src_logical = self.slices.get(source_key)
+        replayed = bool(
+            src_logical is not None
+            and src_logical.active is not None
+            and src_logical.active.recovering
+        )
+        for index in indices:
+            logical = self.slices[f"{operator}:{index}"]
+            if logical.active is None:
+                raise RuntimeError(f"slice {logical.id} is not deployed")
+            seq_key = (source_key, logical.id)
+            seq = self._next_seq.get(seq_key, 0)
+            self._next_seq[seq_key] = seq + 1
+            event = StreamEvent(kind, payload, source_key, seq, size_bytes, now, replayed)
+            if self.retention is not None:
+                self.retention.record(source_key, logical.id, event)
+            for instance in logical.instances():
+                self.network.send(
+                    src_host,
+                    instance.host.host_id,
+                    size_bytes,
+                    event,
+                    instance.deliver,
+                )
+
+    def inject(
+        self,
+        source_key: str,
+        operator: str,
+        kind: str,
+        payload: Any,
+        size_bytes: int,
+        key: Any,
+    ) -> None:
+        """External injection (clients); same routing surface as slices."""
+        self.route(source_key, operator, kind, payload, size_bytes, key)
+
+    def sent_cutoffs(self, slice_id: str) -> Dict[str, int]:
+        """Last sequence number sent to ``slice_id`` per source, so far."""
+        return {
+            source: next_seq - 1
+            for (source, dst), next_seq in self._next_seq.items()
+            if dst == slice_id
+        }
+
+    # -- crash-recovery support ----------------------------------------------
+
+    def enable_retention(self) -> None:
+        """Start retaining sent events for replay (passive replication)."""
+        from .retention import RetentionLog
+
+        if self.retention is None:
+            self.retention = RetentionLog()
+
+    def seq_counters_from(self, slice_id: str) -> Dict[str, int]:
+        """Outgoing sequence counters of ``slice_id`` (checkpointed so a
+        recovered instance regenerates identical sequence numbers)."""
+        return {
+            dst: next_seq
+            for (source, dst), next_seq in self._next_seq.items()
+            if source == slice_id
+        }
+
+    def restore_seq_counters(self, slice_id: str, counters: Dict[str, int]) -> None:
+        """Reset ``slice_id``'s outgoing counters to a checkpointed value."""
+        for (source, dst) in list(self._next_seq):
+            if source == slice_id:
+                del self._next_seq[(source, dst)]
+        for dst, next_seq in counters.items():
+            self._next_seq[(slice_id, dst)] = next_seq
+
+    # -- migration --------------------------------------------------------------------
+
+    def migrate(self, slice_id: str, dest_host: Host):
+        """Start a live migration; returns the coordinating process.
+
+        The process's value is a :class:`~repro.engine.migration.
+        MigrationReport`.
+        """
+        from .migration import migrate_slice
+
+        return self.env.process(migrate_slice(self, slice_id, dest_host))
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _logical(self, slice_id: str) -> LogicalSlice:
+        logical = self.slices.get(slice_id)
+        if logical is None:
+            raise KeyError(f"unknown slice {slice_id!r}")
+        return logical
+
+    def _active(self, slice_id: str):
+        logical = self._logical(slice_id)
+        if logical.active is None:
+            raise RuntimeError(f"slice {slice_id} is not deployed")
+        return logical.active
+
+    def _source_host_id(self, source_key: str) -> str:
+        logical = self.slices.get(source_key)
+        if logical is not None and logical.active is not None:
+            return logical.active.host.host_id
+        return f"ext:{source_key}"

@@ -1,0 +1,61 @@
+"""Experiment wiring: one module per paper table/figure (DESIGN.md §4).
+
+* :mod:`repro.experiments.harness` — cluster + hub deployment shared by all.
+* :mod:`repro.experiments.baseline` — Figure 6 (throughput and delays).
+* :mod:`repro.experiments.migration` — Table I and Figure 7.
+* :mod:`repro.experiments.elastic` — Figures 8 and 9.
+* :mod:`repro.experiments.ablations` — design-choice ablations.
+"""
+
+from .harness import Deployment, ExperimentSetup, host_split
+from .baseline import (
+    BaselineResult,
+    estimate_capacity,
+    is_rate_sustainable,
+    max_throughput,
+    measure_delays,
+    run_figure6,
+)
+from .migration import (
+    Figure7Result,
+    MigrationTimingRow,
+    migration_setup,
+    run_figure7,
+    run_table1,
+)
+from .elastic import ElasticRunResult, run_elastic, run_figure8, run_figure9
+from .cost import CostComparison, host_seconds, run_cost_effectiveness
+from .ablations import (
+    AblationRow,
+    run_grace_period_ablation,
+    run_selection_ablation,
+    run_target_utilization_ablation,
+)
+
+__all__ = [
+    "AblationRow",
+    "BaselineResult",
+    "CostComparison",
+    "Deployment",
+    "host_seconds",
+    "run_cost_effectiveness",
+    "ElasticRunResult",
+    "ExperimentSetup",
+    "Figure7Result",
+    "MigrationTimingRow",
+    "estimate_capacity",
+    "host_split",
+    "is_rate_sustainable",
+    "max_throughput",
+    "measure_delays",
+    "migration_setup",
+    "run_elastic",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_grace_period_ablation",
+    "run_selection_ablation",
+    "run_table1",
+    "run_target_utilization_ablation",
+]

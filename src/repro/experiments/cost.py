@@ -1,0 +1,76 @@
+"""Cost-effectiveness: elastic vs. static provisioning (paper §I).
+
+The paper's motivation: statically provisioning a pub/sub service for the
+peak of a stock-exchange day is cost-ineffective because the volume is
+near zero outside trading hours.  This experiment quantifies the claim on
+the trace replay: it integrates the host-seconds an elastic deployment
+actually consumed and compares them with static deployments provisioned
+for the peak (and, as a lower bound, for the average) of the same load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .elastic import ElasticRunResult, run_figure9
+from .harness import ExperimentSetup
+
+__all__ = ["CostComparison", "host_seconds", "run_cost_effectiveness"]
+
+
+def host_seconds(result: ElasticRunResult) -> float:
+    """Integrate engine host usage over the run (piecewise constant)."""
+    series = result.host_series
+    if not series:
+        return 0.0
+    total = series[0][1] * series[0][0]  # from t=0 to the first probe
+    for (t0, count), (t1, _next_count) in zip(series, series[1:]):
+        total += count * (t1 - t0)
+    total += series[-1][1] * max(0.0, result.duration_s - series[-1][0])
+    return total
+
+
+@dataclass(frozen=True)
+class CostComparison:
+    """Host-seconds of elastic vs. static provisioning for one workload."""
+
+    duration_s: float
+    elastic_host_seconds: float
+    peak_hosts: int
+    average_hosts: float
+
+    @property
+    def static_peak_host_seconds(self) -> float:
+        return self.peak_hosts * self.duration_s
+
+    @property
+    def savings_vs_static_peak(self) -> float:
+        """Fraction of the static-peak bill the elastic deployment saves."""
+        static = self.static_peak_host_seconds
+        if static <= 0:
+            return 0.0
+        return 1.0 - self.elastic_host_seconds / static
+
+
+def run_cost_effectiveness(
+    time_scale: float = 0.5,
+    peak_rate: float = 190.0,
+    setup: Optional[ExperimentSetup] = None,
+    result: Optional[ElasticRunResult] = None,
+) -> CostComparison:
+    """Run (or reuse) the trace replay and compare provisioning costs.
+
+    A static deployment must hold the elastic run's *maximum* host count
+    for the whole day to survive the afternoon spike; the elastic bill is
+    the integral of the actual host count.
+    """
+    if result is None:
+        result = run_figure9(time_scale=time_scale, peak_rate=peak_rate, setup=setup)
+    elastic = host_seconds(result)
+    return CostComparison(
+        duration_s=result.duration_s,
+        elastic_host_seconds=elastic,
+        peak_hosts=result.max_hosts,
+        average_hosts=elastic / result.duration_s if result.duration_s else 0.0,
+    )

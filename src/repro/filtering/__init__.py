@@ -1,0 +1,56 @@
+"""Content-based filtering: plaintext predicates, indices, and ASPE.
+
+* :mod:`repro.filtering.predicates` — the plaintext model (Op, Predicate,
+  PredicateSet).
+* :mod:`repro.filtering.plain` — brute-force and counting-index libraries.
+* :mod:`repro.filtering.aspe` — real ASPE encrypted filtering.
+* :mod:`repro.filtering.backends` — exact/sampled matching backends used
+  by simulated M-operator slices.
+* :mod:`repro.filtering.cost` — the calibrated CPU/size cost model.
+"""
+
+from .predicates import Op, Predicate, PredicateSet
+from .base import FilteringLibrary
+from .plain import BruteForceLibrary, CountingIndexLibrary
+from .aspe import (
+    AspeCipher,
+    AspeKey,
+    AspeLibrary,
+    EncryptedPredicate,
+    EncryptedPublication,
+    EncryptedSubscription,
+    match_encrypted,
+)
+from .aspe_split import AspeSplitCipher, AspeSplitKey
+from .backends import (
+    ExactBackend,
+    MatchResult,
+    MatchingBackend,
+    SampledBackend,
+    sample_binomial,
+)
+from .cost import CostModel
+
+__all__ = [
+    "AspeCipher",
+    "AspeKey",
+    "AspeLibrary",
+    "AspeSplitCipher",
+    "AspeSplitKey",
+    "BruteForceLibrary",
+    "CostModel",
+    "CountingIndexLibrary",
+    "EncryptedPredicate",
+    "EncryptedPublication",
+    "EncryptedSubscription",
+    "ExactBackend",
+    "FilteringLibrary",
+    "MatchResult",
+    "MatchingBackend",
+    "Op",
+    "Predicate",
+    "PredicateSet",
+    "SampledBackend",
+    "match_encrypted",
+    "sample_binomial",
+]

@@ -1,0 +1,281 @@
+"""ASPE encrypted content-based filtering.
+
+Implements asymmetric scalar-product-preserving encryption (ASPE, Wong et
+al., adapted to pub/sub filtering by Choi et al. — the paper's ref [11]).
+Matching happens on ciphertexts only; neither publication attribute values
+nor subscription constants are revealed to the matching host.
+
+Construction
+------------
+Let ``d`` be the number of attributes.  The secret key is a random
+invertible matrix ``M`` of size ``n×n`` with ``n = d + 3`` (d attribute
+coordinates, one constant coordinate, two noise coordinates).
+
+* A publication with attributes ``x ∈ R^d`` is encoded as the plaintext
+  vector ``u = r · (x₁, …, x_d, 1, α, γ)`` with secret per-encryption
+  randomness ``r > 0`` and noise ``α, γ``; its ciphertext is ``û = Mᵀ u``.
+* A subscription predicate ``x_i op c`` is encoded as
+  ``q = s · (δ₁, …, δ_d, −c, 0, 0)`` with ``δ_j = 1`` iff ``j = i`` and
+  secret ``s > 0``; its ciphertext is ``q̂ = M⁻¹ q``.
+
+Then ``û · q̂ = uᵀ M M⁻¹ q = r·s·(x_i − c)``: the *sign* of the inner
+product decides the comparison while the magnitude is blinded by ``r·s``
+and the ciphertext coordinates are mixed by ``M``.  Each predicate check is
+an ``n``-dimensional inner product, so matching one publication against a
+subscription with ``k`` predicates costs ``O(k·d)`` multiplications —
+``O(d²)`` for the typical ``k ≈ d``, matching the paper's cost statement.
+
+Equality predicates are evaluated as the conjunction of ``≥`` and ``≤``
+using two query vectors.  Floating-point noise from the two matrix
+multiplications is absorbed by a relative tolerance on the decision
+boundary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import FilteringLibrary
+from .predicates import Op, Predicate, PredicateSet
+
+__all__ = [
+    "AspeKey",
+    "AspeCipher",
+    "EncryptedPublication",
+    "EncryptedPredicate",
+    "EncryptedSubscription",
+    "AspeLibrary",
+]
+
+# Boundary tolerance: |û·q̂| below tol·scale counts as "equal".  The scale
+# is carried with each ciphertext pair via the blinding bounds.
+_REL_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class AspeKey:
+    """The secret key: dimension and the invertible mixing matrix."""
+
+    dimensions: int
+    matrix: np.ndarray
+    inverse: np.ndarray
+
+    @classmethod
+    def generate(cls, dimensions: int, rng: Optional[random.Random] = None) -> "AspeKey":
+        """Generate a fresh key for a ``dimensions``-attribute schema."""
+        if dimensions <= 0:
+            raise ValueError("dimensions must be positive")
+        rng = rng or random.Random()
+        n = dimensions + 3
+        np_rng = np.random.default_rng(rng.getrandbits(63))
+        while True:
+            matrix = np_rng.uniform(-1.0, 1.0, size=(n, n))
+            # Reject ill-conditioned draws to keep decisions numerically crisp.
+            if np.linalg.cond(matrix) < 1e4:
+                break
+        inverse = np.linalg.inv(matrix)
+        return cls(dimensions=dimensions, matrix=matrix, inverse=inverse)
+
+    @property
+    def cipher_dimensions(self) -> int:
+        return self.dimensions + 3
+
+
+@dataclass(frozen=True)
+class EncryptedPublication:
+    """Ciphertext of one publication (``û = Mᵀ u``)."""
+
+    vector: np.ndarray
+
+    @property
+    def size_bytes(self) -> int:
+        return self.vector.nbytes + 16
+
+
+@dataclass(frozen=True)
+class EncryptedPredicate:
+    """Ciphertext of one predicate: query vector(s) + comparison direction.
+
+    ``op_code`` keeps only the comparison *direction and strictness* —
+    which attribute and constant are compared is hidden inside the vector.
+    """
+
+    op_code: str  # one of 'gt', 'ge', 'lt', 'le'
+    vector: np.ndarray
+
+
+@dataclass(frozen=True)
+class EncryptedSubscription:
+    """Ciphertext of a subscription: conjunction of encrypted predicates."""
+
+    predicates: Tuple[EncryptedPredicate, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(p.vector.nbytes + 24 for p in self.predicates) + 16
+
+
+class AspeCipher:
+    """Encrypts publications and subscriptions under an :class:`AspeKey`."""
+
+    def __init__(self, key: AspeKey, rng: Optional[random.Random] = None):
+        self.key = key
+        self._rng = rng or random.Random()
+
+    # -- encryption -----------------------------------------------------------
+
+    def encrypt_publication(self, attributes: Sequence[float]) -> EncryptedPublication:
+        d = self.key.dimensions
+        if len(attributes) != d:
+            raise ValueError(f"expected {d} attributes, got {len(attributes)}")
+        r = self._rng.uniform(0.5, 2.0)
+        alpha = self._rng.uniform(-10.0, 10.0)
+        gamma = self._rng.uniform(-10.0, 10.0)
+        u = np.empty(d + 3)
+        u[:d] = attributes
+        u[d] = 1.0
+        u[d + 1] = alpha
+        u[d + 2] = gamma
+        u *= r
+        return EncryptedPublication(vector=self.key.matrix.T @ u)
+
+    def encrypt_predicate(self, predicate: Predicate) -> List[EncryptedPredicate]:
+        """Encrypt one predicate (two ciphertexts for equality)."""
+        d = self.key.dimensions
+        if predicate.attribute >= d:
+            raise ValueError(
+                f"predicate attribute {predicate.attribute} outside schema of {d}"
+            )
+        if predicate.op is Op.EQ:
+            return [
+                self._encrypt_comparison(predicate.attribute, predicate.constant, "ge"),
+                self._encrypt_comparison(predicate.attribute, predicate.constant, "le"),
+            ]
+        op_code = {Op.GT: "gt", Op.GE: "ge", Op.LT: "lt", Op.LE: "le"}[predicate.op]
+        return [self._encrypt_comparison(predicate.attribute, predicate.constant, op_code)]
+
+    def encrypt_subscription(self, predicate_set: PredicateSet) -> EncryptedSubscription:
+        encrypted: List[EncryptedPredicate] = []
+        for predicate in predicate_set:
+            encrypted.extend(self.encrypt_predicate(predicate))
+        return EncryptedSubscription(predicates=tuple(encrypted))
+
+    def _encrypt_comparison(self, attribute: int, constant: float, op_code: str) -> EncryptedPredicate:
+        d = self.key.dimensions
+        s = self._rng.uniform(0.5, 2.0)
+        q = np.zeros(d + 3)
+        q[attribute] = 1.0
+        q[d] = -constant
+        q *= s
+        return EncryptedPredicate(op_code=op_code, vector=self.key.inverse @ q)
+
+
+def _decide(op_code: str, product: float, tolerance: float) -> bool:
+    if op_code == "gt":
+        return product > tolerance
+    if op_code == "ge":
+        return product >= -tolerance
+    if op_code == "lt":
+        return product < -tolerance
+    if op_code == "le":
+        return product <= tolerance
+    raise ValueError(f"unknown op code {op_code!r}")
+
+
+def match_encrypted(
+    publication: EncryptedPublication, subscription: EncryptedSubscription
+) -> bool:
+    """Evaluate the encrypted conjunction: does the publication match?"""
+    u = publication.vector
+    scale = float(np.linalg.norm(u)) + 1.0
+    for predicate in subscription.predicates:
+        product = float(u @ predicate.vector)
+        tolerance = _REL_TOL * scale * (float(np.linalg.norm(predicate.vector)) + 1.0)
+        if not _decide(predicate.op_code, product, tolerance):
+            return False
+    return True
+
+
+class AspeLibrary(FilteringLibrary):
+    """Filtering library over ASPE ciphertexts.
+
+    Because ciphertexts reveal nothing exploitable for indexing, every
+    publication must be matched against *every* stored subscription — the
+    property that makes encrypted filtering computationally heavy and the
+    paper's experiments workload-independent.
+
+    When many subscriptions are stored, the per-predicate inner products are
+    evaluated with a vectorized batch product over a packed matrix.
+    """
+
+    def __init__(self) -> None:
+        self._subs: Dict[int, EncryptedSubscription] = {}
+        self._packed: Optional[Tuple[np.ndarray, List[Tuple[int, str]], List[Tuple[int, int]]]] = None
+
+    def store(self, sub_id: int, filter_data: EncryptedSubscription) -> None:
+        if not isinstance(filter_data, EncryptedSubscription):
+            raise TypeError(
+                f"expected EncryptedSubscription, got {type(filter_data).__name__}"
+            )
+        self._subs[sub_id] = filter_data
+        self._packed = None
+
+    def remove(self, sub_id: int) -> None:
+        del self._subs[sub_id]
+        self._packed = None
+
+    def match(self, publication_data: EncryptedPublication) -> List[int]:
+        if not isinstance(publication_data, EncryptedPublication):
+            raise TypeError(
+                f"expected EncryptedPublication, got {type(publication_data).__name__}"
+            )
+        if not self._subs:
+            return []
+        matrix, ops, spans = self._pack()
+        u = publication_data.vector
+        products = matrix @ u
+        scale = float(np.linalg.norm(u)) + 1.0
+        matched: List[int] = []
+        for sub_id, (start, stop) in spans:
+            ok = True
+            for row in range(start, stop):
+                tolerance = _REL_TOL * scale * ops[row][1]
+                if not _decide(ops[row][0], float(products[row]), tolerance):
+                    ok = False
+                    break
+            if ok:
+                matched.append(sub_id)
+        return matched
+
+    def subscription_count(self) -> int:
+        return len(self._subs)
+
+    def state_size_bytes(self) -> int:
+        return sum(s.size_bytes for s in self._subs.values())
+
+    def export_state(self) -> Dict[int, EncryptedSubscription]:
+        return dict(self._subs)
+
+    def import_state(self, state: Dict[int, EncryptedSubscription]) -> None:
+        self._subs = dict(state)
+        self._packed = None
+
+    def _pack(self):
+        if self._packed is None:
+            rows: List[np.ndarray] = []
+            ops: List[Tuple[str, float]] = []
+            spans: List[Tuple[int, Tuple[int, int]]] = []
+            for sub_id, subscription in self._subs.items():
+                start = len(rows)
+                for predicate in subscription.predicates:
+                    rows.append(predicate.vector)
+                    ops.append(
+                        (predicate.op_code, float(np.linalg.norm(predicate.vector)) + 1.0)
+                    )
+                spans.append((sub_id, (start, len(rows))))
+            self._packed = (np.vstack(rows), ops, spans)
+        return self._packed

@@ -1,0 +1,162 @@
+"""ASPE with random dimension splitting (hardened variant).
+
+The base ASPE construction (:mod:`repro.filtering.aspe`) is vulnerable to
+known-plaintext attacks: enough (plaintext, ciphertext) pairs determine
+the mixing matrix by solving a linear system.  Wong et al.'s *splitting*
+enhancement breaks that linearity: a secret bit string ``S`` decides, per
+coordinate, whether the publication side or the subscription side of the
+vector is split into two random shares.
+
+For each coordinate ``i`` of the plaintext vectors ``u`` (publication) and
+``q`` (query):
+
+* if ``S[i] = 1``, ``u[i]`` is split: ``ua[i] + ub[i] = u[i]`` with a
+  fresh random share per encryption, while ``qa[i] = qb[i] = q[i]``;
+* if ``S[i] = 0``, the roles swap: ``qa[i] + qb[i] = q[i]`` and
+  ``ua[i] = ub[i] = u[i]``.
+
+Both halves are mixed by independent invertible matrices (``M₁``, ``M₂``),
+and the inner product is preserved as a *sum*:
+``ûa·q̂a + ûb·q̂b = ua·qa + ub·qb = u·q``.
+
+Ciphertexts are represented as the concatenation of the two halves, so the
+unmodified :func:`repro.filtering.aspe.match_encrypted` and
+:class:`~repro.filtering.aspe.AspeLibrary` work on them as-is — the match
+decision is the single inner product of the concatenated vectors.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .aspe import (
+    AspeKey,
+    EncryptedPredicate,
+    EncryptedPublication,
+    EncryptedSubscription,
+)
+from .predicates import Op, Predicate, PredicateSet
+
+__all__ = ["AspeSplitKey", "AspeSplitCipher"]
+
+
+@dataclass(frozen=True)
+class AspeSplitKey:
+    """Secret key of the split variant: two mixing matrices + split bits."""
+
+    dimensions: int
+    split_bits: Tuple[int, ...]
+    matrix_a: np.ndarray
+    inverse_a: np.ndarray
+    matrix_b: np.ndarray
+    inverse_b: np.ndarray
+
+    @classmethod
+    def generate(
+        cls, dimensions: int, rng: Optional[random.Random] = None
+    ) -> "AspeSplitKey":
+        if dimensions <= 0:
+            raise ValueError("dimensions must be positive")
+        rng = rng or random.Random()
+        key_a = AspeKey.generate(dimensions, rng)
+        key_b = AspeKey.generate(dimensions, rng)
+        n = dimensions + 3
+        split_bits = tuple(rng.randrange(2) for _ in range(n))
+        return cls(
+            dimensions=dimensions,
+            split_bits=split_bits,
+            matrix_a=key_a.matrix,
+            inverse_a=key_a.inverse,
+            matrix_b=key_b.matrix,
+            inverse_b=key_b.inverse,
+        )
+
+    @property
+    def cipher_dimensions(self) -> int:
+        """Length of a (concatenated) ciphertext vector."""
+        return 2 * (self.dimensions + 3)
+
+
+class AspeSplitCipher:
+    """Encrypts publications/subscriptions under an :class:`AspeSplitKey`.
+
+    API-compatible with :class:`~repro.filtering.aspe.AspeCipher`: produces
+    :class:`EncryptedPublication` / :class:`EncryptedSubscription` whose
+    (concatenated) vectors plug into the same matching code.
+    """
+
+    def __init__(self, key: AspeSplitKey, rng: Optional[random.Random] = None):
+        self.key = key
+        self._rng = rng or random.Random()
+
+    # -- encryption -----------------------------------------------------------
+
+    def encrypt_publication(self, attributes: Sequence[float]) -> EncryptedPublication:
+        d = self.key.dimensions
+        if len(attributes) != d:
+            raise ValueError(f"expected {d} attributes, got {len(attributes)}")
+        r = self._rng.uniform(0.5, 2.0)
+        u = np.empty(d + 3)
+        u[:d] = attributes
+        u[d] = 1.0
+        u[d + 1] = self._rng.uniform(-10.0, 10.0)
+        u[d + 2] = self._rng.uniform(-10.0, 10.0)
+        u *= r
+        ua, ub = self._split(u, split_when=1)
+        vector = np.concatenate(
+            [self.key.matrix_a.T @ ua, self.key.matrix_b.T @ ub]
+        )
+        return EncryptedPublication(vector=vector)
+
+    def encrypt_predicate(self, predicate: Predicate) -> List[EncryptedPredicate]:
+        d = self.key.dimensions
+        if predicate.attribute >= d:
+            raise ValueError(
+                f"predicate attribute {predicate.attribute} outside schema of {d}"
+            )
+        if predicate.op is Op.EQ:
+            return [
+                self._encrypt_comparison(predicate.attribute, predicate.constant, "ge"),
+                self._encrypt_comparison(predicate.attribute, predicate.constant, "le"),
+            ]
+        op_code = {Op.GT: "gt", Op.GE: "ge", Op.LT: "lt", Op.LE: "le"}[predicate.op]
+        return [
+            self._encrypt_comparison(predicate.attribute, predicate.constant, op_code)
+        ]
+
+    def encrypt_subscription(self, predicate_set: PredicateSet) -> EncryptedSubscription:
+        encrypted: List[EncryptedPredicate] = []
+        for predicate in predicate_set:
+            encrypted.extend(self.encrypt_predicate(predicate))
+        return EncryptedSubscription(predicates=tuple(encrypted))
+
+    # -- internals ----------------------------------------------------------------
+
+    def _encrypt_comparison(
+        self, attribute: int, constant: float, op_code: str
+    ) -> EncryptedPredicate:
+        d = self.key.dimensions
+        s = self._rng.uniform(0.5, 2.0)
+        q = np.zeros(d + 3)
+        q[attribute] = 1.0
+        q[d] = -constant
+        q *= s
+        qa, qb = self._split(q, split_when=0)
+        vector = np.concatenate([self.key.inverse_a @ qa, self.key.inverse_b @ qb])
+        return EncryptedPredicate(op_code=op_code, vector=vector)
+
+    def _split(self, vector: np.ndarray, split_when: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Share coordinates whose split bit equals ``split_when``."""
+        a = vector.copy()
+        b = vector.copy()
+        for index, bit in enumerate(self.key.split_bits):
+            if bit == split_when:
+                share = self._rng.uniform(-abs(vector[index]) - 1.0,
+                                          abs(vector[index]) + 1.0)
+                a[index] = share
+                b[index] = vector[index] - share
+        return a, b

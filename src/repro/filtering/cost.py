@@ -1,0 +1,95 @@
+"""Calibrated CPU/size cost model for the simulated deployment.
+
+The discrete-event simulation charges CPU time and message bytes according
+to this model.  The constants are calibrated against the paper's reported
+numbers (DESIGN.md §5):
+
+* Figure 6: 12 hosts (6 matching hosts = 48 cores) sustain 422 pub/s with
+  100 K stored ASPE subscriptions = 42.2 M encrypted match operations per
+  second, i.e. ≈ 1.14 µs per operation at d = 4.  The ASPE cost is
+  quadratic in d, so the per-operation cost scales with (d/4)².
+* Table I: stateless AP slices migrate in ≈ 232 ms (pure orchestration and
+  handoff), EP in ≈ 275 ms; M migrations add per-subscription
+  serialization CPU plus the state transfer over the 1 Gbps NIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All calibrated constants in one place (immutable, documented)."""
+
+    #: Number of publication/subscription attributes in the ASPE schema.
+    attributes: int = 4
+
+    #: Seconds of one encrypted match operation at d = 4 (see module doc).
+    aspe_match_op_s: float = 1.14e-6
+
+    #: Seconds of one plaintext brute-force predicate evaluation.
+    plain_match_op_s: float = 0.08e-6
+
+    #: AP processing of one incoming publication or subscription
+    #: (decode + route); the AP is stateless and cheap.
+    ap_event_s: float = 25e-6
+
+    #: Fixed per-publication overhead at an M slice (besides matching).
+    m_base_s: float = 60e-6
+
+    #: EP cost of merging one partial matching list.
+    ep_partial_s: float = 12e-6
+
+    #: EP cost of preparing/sending one subscriber notification.
+    ep_notification_s: float = 2.0e-6
+
+    #: Wire size of one encrypted publication message.
+    publication_bytes: int = 512
+
+    #: Wire size of one encrypted subscription (also its in-memory state
+    #: footprint inside an M slice, dominating migration transfers).
+    subscription_bytes: int = 4096
+
+    #: Wire size of a partial matching list, per contained subscriber id.
+    match_entry_bytes: int = 16
+
+    #: Fixed framing of any inter-slice message.
+    frame_bytes: int = 64
+
+    #: Wire size of one notification to one subscriber.
+    notification_bytes: int = 256
+
+    #: CPU seconds to serialize/deserialize one subscription during an
+    #: M-slice state migration.
+    migration_serialize_sub_s: float = 20e-6
+
+    #: Fixed orchestration overhead of any slice migration (rewiring the
+    #: DAG, queue synchronization, configuration update round-trips).
+    migration_overhead_s: float = 0.22
+
+    #: Transient per-publication EP state footprint (pending match lists).
+    ep_pending_bytes: int = 2048
+
+    #: Baseline memory footprint of any deployed slice.
+    slice_base_bytes: int = 16 * 1024 * 1024
+
+    def match_cost_s(self, stored_subscriptions: int, encrypted: bool = True) -> float:
+        """CPU seconds to match one publication at one M slice."""
+        per_op = self.aspe_match_op_s * (self.attributes / 4.0) ** 2 if encrypted \
+            else self.plain_match_op_s
+        return self.m_base_s + stored_subscriptions * per_op
+
+    def match_list_bytes(self, entries: int) -> int:
+        """Wire size of a partial matching list with ``entries`` ids."""
+        return self.frame_bytes + entries * self.match_entry_bytes
+
+    def m_state_bytes(self, stored_subscriptions: int) -> int:
+        """State footprint of an M slice holding that many subscriptions."""
+        return self.slice_base_bytes + stored_subscriptions * self.subscription_bytes
+
+    def migration_serialize_s(self, stored_subscriptions: int) -> float:
+        """CPU seconds to (de)serialize an M slice's state once."""
+        return stored_subscriptions * self.migration_serialize_sub_s

@@ -1,0 +1,87 @@
+"""Plaintext content-based filtering model: attributes and predicates.
+
+Publications carry a fixed-size tuple of numeric attributes (the paper's
+ASPE schema uses d = 4).  Subscriptions are conjunctions of comparison
+predicates over attribute indices — the classic content-based model
+(attribute op constant).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = ["Op", "Predicate", "PredicateSet"]
+
+
+class Op(enum.Enum):
+    """Comparison operators supported by predicates."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "="
+
+    def evaluate(self, value: float, constant: float) -> bool:
+        if self is Op.LT:
+            return value < constant
+        if self is Op.LE:
+            return value <= constant
+        if self is Op.GT:
+            return value > constant
+        if self is Op.GE:
+            return value >= constant
+        return value == constant
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single comparison ``attributes[attribute] op constant``."""
+
+    attribute: int
+    op: Op
+    constant: float
+
+    def __post_init__(self):
+        if self.attribute < 0:
+            raise ValueError("attribute index must be non-negative")
+
+    def matches(self, attributes: Sequence[float]) -> bool:
+        if self.attribute >= len(attributes):
+            raise IndexError(
+                f"predicate on attribute {self.attribute} but publication has "
+                f"{len(attributes)} attributes"
+            )
+        return self.op.evaluate(attributes[self.attribute], self.constant)
+
+    def __str__(self) -> str:
+        return f"a{self.attribute} {self.op.value} {self.constant:g}"
+
+
+@dataclass(frozen=True)
+class PredicateSet:
+    """A conjunction of predicates (a plaintext subscription filter)."""
+
+    predicates: Tuple[Predicate, ...]
+
+    def __post_init__(self):
+        if not self.predicates:
+            raise ValueError("a subscription filter needs at least one predicate")
+
+    @classmethod
+    def of(cls, *predicates: Predicate) -> "PredicateSet":
+        return cls(tuple(predicates))
+
+    def matches(self, attributes: Sequence[float]) -> bool:
+        return all(p.matches(attributes) for p in self.predicates)
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __iter__(self):
+        return iter(self.predicates)
+
+    def __str__(self) -> str:
+        return " AND ".join(str(p) for p in self.predicates)

@@ -1,0 +1,24 @@
+"""Measurement utilities: delays, windowed aggregates, throughput, reports."""
+
+from .delay import DelaySample, DelayStats, DelayTracker, percentile
+from .windows import WindowStats, WindowedSeries
+from .throughput import BacklogProbe, ThroughputMeter
+from .report import format_series, format_table
+from .export import ascii_chart, ascii_sparkline, write_csv, write_json
+
+__all__ = [
+    "BacklogProbe",
+    "ascii_chart",
+    "ascii_sparkline",
+    "write_csv",
+    "write_json",
+    "DelaySample",
+    "DelayStats",
+    "DelayTracker",
+    "ThroughputMeter",
+    "WindowStats",
+    "WindowedSeries",
+    "format_series",
+    "format_table",
+    "percentile",
+]

@@ -1,0 +1,49 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every benchmark prints the paper's rows next to the measured ones using
+these helpers, so EXPERIMENTS.md can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(name: str, pairs: Iterable[Sequence[object]], unit: str = "") -> str:
+    """Render an (x, y) series as compact aligned text."""
+    suffix = f" [{unit}]" if unit else ""
+    lines = [f"{name}{suffix}:"]
+    for x, y in pairs:
+        lines.append(f"  {_cell(x):>12}  {_cell(y)}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

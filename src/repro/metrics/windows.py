@@ -1,0 +1,68 @@
+"""Fixed-window time-series aggregation.
+
+The paper's elasticity plots (Figures 8 and 9) present averages, standard
+deviations, minima and maxima over periods of 30 seconds; this module
+provides exactly that aggregation for any sampled series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["WindowStats", "WindowedSeries"]
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Aggregate of all samples falling into one window."""
+
+    window_start: float
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+class WindowedSeries:
+    """Collects (time, value) samples and aggregates per fixed window."""
+
+    def __init__(self, window_s: float = 30.0):
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.window_s = window_s
+        self._samples: List[Tuple[float, float]] = []
+
+    def add(self, time: float, value: float) -> None:
+        self._samples.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[Tuple[float, float]]:
+        return list(self._samples)
+
+    def windows(self) -> List[WindowStats]:
+        """Per-window aggregates, ordered by window start time."""
+        buckets: Dict[int, List[float]] = {}
+        for time, value in self._samples:
+            buckets.setdefault(int(time // self.window_s), []).append(value)
+        result = []
+        for index in sorted(buckets):
+            values = buckets[index]
+            mean = sum(values) / len(values)
+            variance = sum((v - mean) ** 2 for v in values) / len(values)
+            result.append(
+                WindowStats(
+                    window_start=index * self.window_s,
+                    count=len(values),
+                    mean=mean,
+                    std=math.sqrt(variance),
+                    minimum=min(values),
+                    maximum=max(values),
+                )
+            )
+        return result

@@ -1,0 +1,63 @@
+"""Message types flowing through the STREAMHUB pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["Subscription", "Publication", "MatchList", "Notification"]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A subscriber's registered interest.
+
+    ``filter_payload`` is whatever the configured filtering scheme needs:
+    a plaintext :class:`~repro.filtering.PredicateSet`, an
+    :class:`~repro.filtering.EncryptedSubscription`, or ``None`` in
+    sampled-matching simulations.
+    """
+
+    sub_id: int
+    subscriber: int
+    filter_payload: Any = None
+
+
+@dataclass(frozen=True)
+class Publication:
+    """A published event.
+
+    ``payload`` is the plaintext attribute tuple or an
+    :class:`~repro.filtering.EncryptedPublication` (or ``None`` when
+    matching is sampled).  ``published_at`` is stamped by the source
+    operator and carried end-to-end for delay measurement.
+    """
+
+    pub_id: int
+    payload: Any = None
+    published_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class MatchList:
+    """Partial list of matching subscribers from one M slice.
+
+    ``subscriber_ids`` is ``None`` in sampled mode, where only ``count``
+    is meaningful.
+    """
+
+    pub_id: int
+    m_slice: int
+    count: int
+    subscriber_ids: Optional[Tuple[int, ...]]
+    published_at: float
+
+
+@dataclass(frozen=True)
+class Notification:
+    """Aggregated notification batch for one publication at one EP slice."""
+
+    pub_id: int
+    count: int
+    subscriber_ids: Optional[Tuple[int, ...]]
+    published_at: float

@@ -1,0 +1,289 @@
+"""The three STREAMHUB operators as engine slice handlers (paper §III).
+
+* :class:`AccessPointHandler` (AP) — stateless.  Partitions subscriptions
+  over M slices by modulo hashing of the subscription id and broadcasts
+  publications to all M slices.
+* :class:`MatcherHandler` (M) — stateful.  Stores its partition of the
+  subscriptions in a matching backend; on each publication, produces the
+  partial list of matching subscribers and forwards it to the EP operator
+  (modulo hashing on the publication id).
+* :class:`ExitPointHandler` (EP) — small transient state.  Collects, per
+  publication, the partial lists of *all* M slices; once complete,
+  prepares and dispatches the notifications to the sink.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..engine import SliceContext, SliceHandler, StreamEvent
+from ..filtering import CostModel, MatchingBackend
+from .messages import MatchList, Notification, Publication, Subscription
+
+__all__ = [
+    "AccessPointHandler",
+    "MatcherHandler",
+    "ExitPointHandler",
+    "NotificationSinkHandler",
+    "KIND_SUBSCRIPTION",
+    "KIND_PUBLICATION",
+    "KIND_MATCH_LIST",
+    "KIND_NOTIFY",
+    "KIND_NOTIFICATION",
+]
+
+KIND_SUBSCRIPTION = "subscription"
+KIND_PUBLICATION = "publication"
+KIND_MATCH_LIST = "match_list"
+#: EP-internal completion event carrying the aggregated notification work.
+KIND_NOTIFY = "notify"
+KIND_NOTIFICATION = "notification"
+
+
+class AccessPointHandler(SliceHandler):
+    """AP operator: stateless subscription partitioning / pub broadcast."""
+
+    def __init__(self, cost_model: CostModel, matching_operator: str = "M"):
+        self.cost_model = cost_model
+        self.matching_operator = matching_operator
+        self.publications_routed = 0
+        self.subscriptions_routed = 0
+
+    def cost(self, event: StreamEvent) -> float:
+        return self.cost_model.ap_event_s
+
+    def process(self, event: StreamEvent, ctx: SliceContext) -> None:
+        if event.kind == KIND_SUBSCRIPTION:
+            subscription: Subscription = event.payload
+            ctx.emit(
+                self.matching_operator,
+                KIND_SUBSCRIPTION,
+                subscription,
+                self.cost_model.subscription_bytes,
+                key=subscription.sub_id,
+            )
+            self.subscriptions_routed += 1
+        elif event.kind == KIND_PUBLICATION:
+            publication: Publication = event.payload
+            ctx.emit_broadcast(
+                self.matching_operator,
+                KIND_PUBLICATION,
+                publication,
+                self.cost_model.publication_bytes,
+            )
+            self.publications_routed += 1
+        else:
+            raise ValueError(f"AP cannot handle event kind {event.kind!r}")
+
+
+class MatcherHandler(SliceHandler):
+    """M operator: stores a subscription partition, filters publications."""
+
+    def __init__(
+        self,
+        slice_index: int,
+        backend: MatchingBackend,
+        cost_model: CostModel,
+        encrypted: bool = True,
+        exit_operator: str = "EP",
+    ):
+        self.slice_index = slice_index
+        self.backend = backend
+        self.cost_model = cost_model
+        self.encrypted = encrypted
+        self.exit_operator = exit_operator
+        self.publications_matched = 0
+        #: sub_id → subscriber, resolved when emitting match lists.
+        self._subscribers: Dict[int, int] = {}
+
+    def cost(self, event: StreamEvent) -> float:
+        if event.kind == KIND_PUBLICATION:
+            return self.cost_model.match_cost_s(
+                self.backend.subscription_count(), encrypted=self.encrypted
+            )
+        return self.cost_model.ap_event_s  # storing one subscription is cheap
+
+    def lock_mode(self, event: StreamEvent) -> str:
+        # Matching only reads the subscription store; storing mutates it.
+        return "R" if event.kind == KIND_PUBLICATION else "W"
+
+    def process(self, event: StreamEvent, ctx: SliceContext) -> None:
+        if event.kind == KIND_SUBSCRIPTION:
+            subscription: Subscription = event.payload
+            self.backend.store(subscription.sub_id, subscription.filter_payload)
+            self._subscribers[subscription.sub_id] = subscription.subscriber
+        elif event.kind == KIND_PUBLICATION:
+            publication: Publication = event.payload
+            result = self.backend.match(publication.pub_id, publication.payload)
+            ids: Optional[Tuple[int, ...]] = None
+            if result.ids is not None:
+                ids = tuple(
+                    self._subscribers.get(sub_id, sub_id) for sub_id in result.ids
+                )
+            match_list = MatchList(
+                pub_id=publication.pub_id,
+                m_slice=self.slice_index,
+                count=result.count,
+                subscriber_ids=ids,
+                published_at=publication.published_at,
+            )
+            ctx.emit(
+                self.exit_operator,
+                KIND_MATCH_LIST,
+                match_list,
+                self.cost_model.match_list_bytes(result.count),
+                key=publication.pub_id,
+            )
+            self.publications_matched += 1
+        else:
+            raise ValueError(f"M cannot handle event kind {event.kind!r}")
+
+    def preload(self, subscription: Subscription) -> None:
+        """Install a subscription directly, bypassing the pipeline.
+
+        Equivalent to receiving it via the AP (the caller must respect the
+        AP's partitioning: ``sub_id mod m_slices == slice_index``).  Used
+        by large-scale experiments to skip the unmeasured storage phase.
+        """
+        self.backend.store(subscription.sub_id, subscription.filter_payload)
+        self._subscribers[subscription.sub_id] = subscription.subscriber
+
+    # -- migration state ------------------------------------------------------
+
+    def export_state(self) -> Any:
+        return {
+            "backend": self.backend.export_state(),
+            "subscribers": dict(self._subscribers),
+        }
+
+    def import_state(self, state: Any) -> None:
+        if state is not None:
+            self.backend.import_state(state["backend"])
+            self._subscribers = dict(state["subscribers"])
+
+    def state_size_bytes(self) -> int:
+        # The persistent state is the stored subscription partition.
+        return self.backend.subscription_count() * self.cost_model.subscription_bytes
+
+
+class ExitPointHandler(SliceHandler):
+    """EP operator: joins the M slices' partial lists, dispatches."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        m_slice_count: int,
+        own_operator: str = "EP",
+        sink_operator: Optional[str] = "SINK",
+    ):
+        if m_slice_count <= 0:
+            raise ValueError("m_slice_count must be positive")
+        self.cost_model = cost_model
+        self.m_slice_count = m_slice_count
+        self.own_operator = own_operator
+        self.sink_operator = sink_operator
+        #: pub_id → [lists received, total matches, ids, published_at]
+        self.pending: Dict[int, List[Any]] = {}
+        self.notifications_sent = 0
+
+    def cost(self, event: StreamEvent) -> float:
+        if event.kind == KIND_MATCH_LIST:
+            return self.cost_model.ep_partial_s
+        if event.kind == KIND_NOTIFY:
+            notification: Notification = event.payload
+            return notification.count * self.cost_model.ep_notification_s
+        return 0.0
+
+    def lock_mode(self, event: StreamEvent) -> str:
+        # Both joining and dispatch touch the pending table.
+        return "W"
+
+    def process(self, event: StreamEvent, ctx: SliceContext) -> None:
+        if event.kind == KIND_MATCH_LIST:
+            self._join(event.payload, ctx)
+        elif event.kind == KIND_NOTIFY:
+            self._dispatch(event.payload, ctx)
+        else:
+            raise ValueError(f"EP cannot handle event kind {event.kind!r}")
+
+    def _join(self, match_list: MatchList, ctx: SliceContext) -> None:
+        entry = self.pending.get(match_list.pub_id)
+        if entry is None:
+            entry = [set(), 0, [] if match_list.subscriber_ids is not None else None,
+                     match_list.published_at]
+            self.pending[match_list.pub_id] = entry
+        if match_list.m_slice in entry[0]:
+            # Content-level idempotence: a duplicate delivery of the same
+            # partial list (crash-recovery replay) is ignored, keyed by
+            # the originating M slice.
+            return
+        entry[0].add(match_list.m_slice)
+        entry[1] += match_list.count
+        if entry[2] is not None and match_list.subscriber_ids is not None:
+            entry[2].extend(match_list.subscriber_ids)
+        if len(entry[0]) == self.m_slice_count:
+            del self.pending[match_list.pub_id]
+            notification = Notification(
+                pub_id=match_list.pub_id,
+                count=entry[1],
+                subscriber_ids=tuple(entry[2]) if entry[2] is not None else None,
+                published_at=entry[3],
+            )
+            # Dispatching has its own CPU cost proportional to the number
+            # of notifications; route it through a self-addressed event so
+            # the engine charges it (same slice: key = pub_id).
+            ctx.emit(
+                self.own_operator,
+                KIND_NOTIFY,
+                notification,
+                self.cost_model.frame_bytes,
+                key=match_list.pub_id,
+            )
+
+    def _dispatch(self, notification: Notification, ctx: SliceContext) -> None:
+        if self.sink_operator is not None:
+            ctx.emit(
+                self.sink_operator,
+                KIND_NOTIFICATION,
+                notification,
+                self.cost_model.frame_bytes
+                + notification.count * self.cost_model.notification_bytes,
+                key=notification.pub_id,
+            )
+        self.notifications_sent += notification.count
+
+    # -- migration state -----------------------------------------------------
+
+    def export_state(self) -> Any:
+        return {
+            pub_id: [set(entry[0]), entry[1],
+                     list(entry[2]) if entry[2] is not None else None, entry[3]]
+            for pub_id, entry in self.pending.items()
+        }
+
+    def import_state(self, state: Any) -> None:
+        if state is not None:
+            self.pending = {
+                pub_id: [set(entry[0]), entry[1],
+                         list(entry[2]) if entry[2] is not None else None, entry[3]]
+                for pub_id, entry in state.items()
+            }
+
+    def state_size_bytes(self) -> int:
+        # Transient and expected to be small (paper §IV-A).
+        return len(self.pending) * self.cost_model.ep_pending_bytes
+
+
+class NotificationSinkHandler(SliceHandler):
+    """Convenience sink operator slice: records notification delays."""
+
+    def __init__(self, collector):
+        """``collector`` is a callable ``(Notification, now) -> None``."""
+        self.collector = collector
+        self.received = 0
+
+    def process(self, event: StreamEvent, ctx: SliceContext) -> None:
+        if event.kind != KIND_NOTIFICATION:
+            raise ValueError(f"sink cannot handle event kind {event.kind!r}")
+        self.collector(event.payload, ctx.now)
+        self.received += 1

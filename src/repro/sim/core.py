@@ -1,0 +1,500 @@
+"""Core of the discrete-event simulation kernel.
+
+The kernel follows the classic event-loop design (as popularized by SimPy):
+an :class:`Environment` owns the simulation clock and a priority queue of
+scheduled events.  Processes are Python generators that yield events; when a
+yielded event is *triggered* and then *processed* by the event loop, the
+generator is resumed with the event's value (or an exception is thrown into
+it if the event failed).
+
+The kernel is deterministic: ties in time are broken first by scheduling
+priority, then by a monotonically increasing sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "ConditionValue",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for events that must run before ordinary events
+#: scheduled at the same simulated time (e.g. interrupts, resource wakeups).
+URGENT = 0
+
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop the event loop from ``Environment.run``."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+# Sentinel stored in ``Event._value`` while the event is untriggered.
+_PENDING = object()
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    An event goes through up to three states:
+
+    * *pending* — freshly created, not yet triggered;
+    * *triggered* — has a value (or an exception) and is scheduled to be
+      processed by the event loop;
+    * *processed* — its callbacks have run.
+
+    Callbacks are plain callables receiving the event itself.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        #: Set on failed events once a callback (or process) consumed the
+        #: exception; unhandled failures crash the simulation.
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has a value and is (or was) scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value of the event, or the exception of a failed event."""
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event.
+
+        Used as a callback to chain events.
+        """
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a ``delay`` of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Starts a process when processed (scheduled urgently at creation)."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Interrupt(Exception):
+    """Thrown into a process when it is interrupted.
+
+    :attr:`cause` carries the value passed to :meth:`Process.interrupt`.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class _InterruptEvent(Event):
+    """Immediate event that resumes an interrupted process with a throw."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, env: "Environment", process: "Process", cause: Any):
+        super().__init__(env)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.process = process
+        self.callbacks.append(process._resume_interrupt)
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A process is a running generator wrapped as an event.
+
+    The process event triggers when the generator returns (value = return
+    value) or raises (failure).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event the process is currently waiting for (None if resuming).
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not terminated yet."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process, raising :class:`Interrupt` inside it."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated; cannot interrupt")
+        if self is self.env.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        _InterruptEvent(self.env, self, cause)
+
+    # -- internal ---------------------------------------------------------
+
+    def _resume_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        # Unsubscribe from the event we were waiting on: we resume via the
+        # interrupt instead.  The old target may still fire later; the
+        # process simply no longer listens.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            self._target = None
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._ok = True
+                self._value = exc.value
+                self.env.schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                self._generator.throw(
+                    TypeError(f"process yielded a non-event: {next_event!r}")
+                )
+                continue
+            if next_event.env is not self.env:
+                raise RuntimeError("cannot wait for an event from another environment")
+
+            if next_event.callbacks is not None:
+                # The event is pending or triggered-but-unprocessed: wait.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: resume immediately with its outcome.
+            event = next_event
+            if not event._ok and not event._defused:
+                event._defused = True
+        self.env._active_process = None
+
+
+class ConditionValue:
+    """Result of a condition: an ordered mapping of fired events to values."""
+
+    def __init__(self, events: List[Event]):
+        self.events = events
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(str(event))
+        return event._value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+    def keys(self) -> List[Event]:
+        return list(self.events)
+
+    def values(self) -> List[Any]:
+        return [e._value for e in self.events]
+
+    def items(self):
+        return [(e, e._value) for e in self.events]
+
+    def todict(self):
+        return dict(self.items())
+
+
+class Condition(Event):
+    """Waits for a combination of events (see :class:`AllOf`/:class:`AnyOf`)."""
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise RuntimeError("events from multiple environments")
+
+        if not self._events or self._evaluate(self._events, 0):
+            self.succeed(ConditionValue([]))
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _fired(self) -> List[Event]:
+        return [e for e in self._events if e.triggered]
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(ConditionValue(self._fired()))
+
+
+class AllOf(Condition):
+    """Condition that triggers when all of the given events have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda events, count: count >= len(events), events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers when any of the given events has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda events, count: count > 0 or not events, events)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention in this project)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def call_later(self, delay: float, function: Callable[..., Any], *args: Any) -> Event:
+        """Invoke ``function(*args)`` after ``delay`` time units.
+
+        A lightweight alternative to spawning a process: costs a single
+        queue entry.  The returned event fires right before the call.
+        """
+        event = Event(self)
+        event._ok = True
+        event._value = None
+        event.callbacks.append(lambda _ev: function(*args))
+        self.schedule(event, delay=delay)
+        return event
+
+    # -- scheduling and the event loop --------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Schedule ``event`` to be processed after ``delay`` time units."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`IndexError` ("empty schedule") if none is left.
+        """
+        if not self._queue:
+            raise IndexError("empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure crashes the whole simulation, loudly.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the event loop.
+
+        ``until`` may be ``None`` (run until no events are left), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        is processed; its value is returned).
+        """
+        at: Optional[float] = None
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    return stop_event._value
+                stop_event.callbacks.append(self._stop)
+            else:
+                at = float(until)
+                if at <= self._now:
+                    raise ValueError(f"until={at} must lie in the future (now={self._now})")
+
+        try:
+            while self._queue:
+                if at is not None and self._queue[0][0] >= at:
+                    self._now = at
+                    break
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if stop_event is not None and not stop_event.triggered:
+            raise RuntimeError("no more events scheduled but the until-event never fired")
+        if at is not None and not self._queue:
+            # Ran out of events before reaching the deadline: advance clock.
+            self._now = max(self._now, at)
+        return None
+
+    def _stop(self, event: Event) -> None:
+        raise StopSimulation(event._value)

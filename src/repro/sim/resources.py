@@ -1,0 +1,183 @@
+"""Shared resources for the simulation kernel.
+
+:class:`Resource` models a pool of identical servers (e.g. CPU cores): a
+process *requests* a unit, holds it for some time, and *releases* it.
+Requests are granted FIFO (optionally by priority).  Requests are context
+managers so a typical usage is::
+
+    with cpu.request() as req:
+        yield req
+        yield env.timeout(service_time)
+
+:class:`Container` models a homogeneous bulk quantity (e.g. bytes of memory).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .core import Environment, Event
+
+__all__ = ["Resource", "Request", "Release", "PriorityRequest", "Container"]
+
+
+class Request(Event):
+    """Request one unit of a :class:`Resource`; succeeds when granted."""
+
+    __slots__ = ("resource", "usage_since")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.usage_since: Optional[float] = None
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the unit if granted, or withdraw a still-queued request."""
+        self.resource._do_cancel(self)
+
+
+class PriorityRequest(Request):
+    """A request with a priority (lower value = served earlier)."""
+
+    __slots__ = ("priority", "time")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        self.priority = priority
+        self.time = resource.env.now
+        super().__init__(resource)
+
+    def _sort_key(self):
+        return (self.priority, self.time)
+
+
+class Release(Event):
+    """Explicit release of a granted request (alternative to ``cancel``)."""
+
+    __slots__ = ("request",)
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        self.request = request
+        resource._do_cancel(request)
+        self.succeed()
+
+
+class Resource:
+    """A pool of ``capacity`` identical units granted FIFO.
+
+    ``capacity`` may be changed at runtime via :meth:`set_capacity`, which
+    is how the cluster models host core counts.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of units currently in use."""
+        return len(self.users)
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the pool; queued requests are granted if room appeared."""
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._trigger_queued()
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def priority_request(self, priority: int = 0) -> PriorityRequest:
+        return PriorityRequest(self, priority)
+
+    def release(self, request: Request) -> Release:
+        return Release(self, request)
+
+    # -- internal ---------------------------------------------------------
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity and not self.queue:
+            self._grant(request)
+        else:
+            self.queue.append(request)
+            if isinstance(request, PriorityRequest):
+                self.queue.sort(
+                    key=lambda r: r._sort_key()
+                    if isinstance(r, PriorityRequest)
+                    else (0, r.env.now)
+                )
+
+    def _grant(self, request: Request) -> None:
+        self.users.append(request)
+        request.usage_since = self.env.now
+        request.succeed()
+
+    def _do_cancel(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._trigger_queued()
+        elif request in self.queue:
+            self.queue.remove(request)
+        # else: already cancelled; releasing twice is a no-op by design.
+
+    def _trigger_queued(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            self._grant(self.queue.pop(0))
+
+
+class Container:
+    """A bulk quantity with blocking ``get`` and non-blocking ``put``."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must lie within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: List = []  # (amount, event)
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> None:
+        """Add ``amount`` immediately (raises if it would overflow)."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if self._level + amount > self.capacity:
+            raise ValueError("container overflow")
+        self._level += amount
+        self._serve_getters()
+
+    def get(self, amount: float) -> Event:
+        """Return an event that fires once ``amount`` could be removed."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = Event(self.env)
+        self._getters.append((amount, event))
+        self._serve_getters()
+        return event
+
+    def _serve_getters(self) -> None:
+        while self._getters and self._getters[0][0] <= self._level:
+            amount, event = self._getters.pop(0)
+            self._level -= amount
+            event.succeed(amount)

@@ -1,0 +1,153 @@
+"""FIFO stores (unbounded or bounded mailboxes) for the simulation kernel.
+
+Channels between operator slices, migration queues and probe mailboxes are
+all built on :class:`Store`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from .core import Environment, Event
+
+__all__ = ["Store", "StoreGet", "StorePut"]
+
+
+class StorePut(Event):
+    """Succeeds once the item has been accepted by the store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._do_put(self)
+
+
+class StoreGet(Event):
+    """Succeeds with the next matching item in FIFO order."""
+
+    __slots__ = ("predicate", "_store")
+
+    def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.env)
+        self.predicate = predicate
+        store._do_get(self)
+
+    def cancel(self) -> None:
+        """Withdraw a pending get (no-op if already satisfied)."""
+        try:
+            self.env  # keep attribute access explicit
+            store_getters = self._store._getters
+        except AttributeError:
+            return
+        if self in store_getters:
+            store_getters.remove(self)
+
+
+class Store:
+    """A FIFO buffer of items with blocking ``get`` and ``put``.
+
+    ``put`` blocks only when a finite ``capacity`` is given and reached.
+    ``get`` optionally takes a predicate, turning the store into a filter
+    store (items are scanned in FIFO order).
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: List[StorePut] = []
+        self._getters: List[StoreGet] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def put_nowait(self, item: Any) -> None:
+        """Fast path for unbounded stores: no event machinery.
+
+        Hands the item directly to the oldest waiting getter when one can
+        take it, otherwise appends to the buffer.  Raises on bounded
+        stores — those need the blocking :meth:`put`.
+        """
+        if self.capacity != float("inf"):
+            raise RuntimeError("put_nowait requires an unbounded store")
+        if self._getters:
+            for getter in self._getters:
+                if getter.predicate is None or getter.predicate(item):
+                    self._getters.remove(getter)
+                    getter.succeed(item)
+                    return
+        self.items.append(item)
+
+    def try_get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Any:
+        """Fast path: pop the next matching item now, or return None."""
+        item = self._find_item(predicate)
+        if item is _NOTHING:
+            return None
+        self._admit_putters()
+        return item
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        event = StoreGet(self, predicate)
+        event._store = self
+        return event
+
+    def peek_all(self) -> List[Any]:
+        """Snapshot of buffered items (used by probes; does not consume)."""
+        return list(self.items)
+
+    # -- internal ---------------------------------------------------------
+
+    def _do_put(self, event: StorePut) -> None:
+        if len(self.items) < self.capacity:
+            self.items.append(event.item)
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append(event)
+
+    def _do_get(self, event: StoreGet) -> None:
+        self._getters.append(event)
+        self._serve_getters()
+
+    def _serve_getters(self) -> None:
+        # Repeatedly try to match the oldest getter with the oldest
+        # acceptable item.  Predicated getters that match nothing stay queued.
+        progress = True
+        while progress:
+            progress = False
+            for getter in list(self._getters):
+                item = self._find_item(getter.predicate)
+                if item is _NOTHING:
+                    continue
+                self._getters.remove(getter)
+                getter.succeed(item)
+                self._admit_putters()
+                progress = True
+
+    def _find_item(self, predicate: Optional[Callable[[Any], bool]]):
+        if predicate is None:
+            if self.items:
+                return self.items.popleft()
+            return _NOTHING
+        for index, item in enumerate(self.items):
+            if predicate(item):
+                del self.items[index]
+                return item
+        return _NOTHING
+
+    def _admit_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            put = self._putters.pop(0)
+            self.items.append(put.item)
+            put.succeed()
+
+
+_NOTHING = object()

@@ -1,0 +1,24 @@
+"""Workload generation: subscriptions, publications, rate profiles, traces."""
+
+from .subscriptions import WorkloadGenerator
+from .rates import constant, piecewise_linear, staircase, trapezoid
+from .frankfurt import FrankfurtTraceModel
+from .advanced import (
+    CorrelatedPublicationGenerator,
+    MultiSourceWorkload,
+    ZipfSubscriptionGenerator,
+    zipf_weights,
+)
+
+__all__ = [
+    "CorrelatedPublicationGenerator",
+    "FrankfurtTraceModel",
+    "MultiSourceWorkload",
+    "WorkloadGenerator",
+    "ZipfSubscriptionGenerator",
+    "constant",
+    "piecewise_linear",
+    "staircase",
+    "trapezoid",
+    "zipf_weights",
+]

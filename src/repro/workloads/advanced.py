@@ -1,0 +1,183 @@
+"""Workload extensions beyond the paper's uniform synthetic model.
+
+The paper's evaluation deliberately uses uniform synthetic workloads: ASPE
+filtering cannot exploit workload structure, so its performance is
+workload-independent (§VI-B).  *Plaintext* filtering, however, is
+sensitive to structure, and downstream users of this library will want
+realistic knobs:
+
+* :class:`ZipfSubscriptionGenerator` — subscription interest concentrated
+  on few hot "instruments" (Zipf-distributed attribute regions), as real
+  stock-monitoring workloads exhibit;
+* :class:`CorrelatedPublicationGenerator` — publications whose attributes
+  are correlated (e.g. price and volatility), produced by a Gaussian
+  copula over the uniform marginals;
+* :class:`MultiSourceWorkload` — several publishers with different rate
+  profiles feeding one hub (e.g. one exchange per source slice).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_right
+from typing import Callable, List, Optional, Sequence
+
+from ..filtering import Op, Predicate, PredicateSet
+from ..pubsub import Subscription
+from ..pubsub.source import SourceDriver
+
+__all__ = [
+    "ZipfSubscriptionGenerator",
+    "CorrelatedPublicationGenerator",
+    "MultiSourceWorkload",
+    "zipf_weights",
+]
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
+    """Normalized Zipf weights for ranks 1..n."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    raw = [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+class ZipfSubscriptionGenerator:
+    """Subscriptions whose interest regions follow a Zipf popularity law.
+
+    The attribute space is divided into ``instruments`` equal regions per
+    attribute; a subscription targets instrument ``i`` with probability
+    proportional to ``1 / rank(i)^exponent``.  With plaintext filtering
+    this skew makes counting-index matching much cheaper than brute force
+    on the cold regions — structure ASPE cannot see.
+    """
+
+    def __init__(
+        self,
+        dimensions: int = 4,
+        instruments: int = 100,
+        exponent: float = 1.0,
+        matching_rate: float = 0.01,
+        value_range: float = 1000.0,
+        seed: int = 0,
+    ):
+        if instruments <= 0:
+            raise ValueError("instruments must be positive")
+        if not 0.0 < matching_rate <= 1.0:
+            raise ValueError("matching rate must be in (0, 1]")
+        self.dimensions = dimensions
+        self.instruments = instruments
+        self.value_range = value_range
+        self.matching_rate = matching_rate
+        self._rng = random.Random(seed)
+        weights = zipf_weights(instruments, exponent)
+        self._cumulative = []
+        total = 0.0
+        for weight in weights:
+            total += weight
+            self._cumulative.append(total)
+
+    def pick_instrument(self) -> int:
+        return bisect_right(self._cumulative, self._rng.random())
+
+    def predicate_set(self) -> PredicateSet:
+        """A band inside one Zipf-picked instrument's region."""
+        instrument = self.pick_instrument()
+        attribute = self._rng.randrange(self.dimensions)
+        region = self.value_range / self.instruments
+        region_start = instrument * region
+        width = min(region, self.matching_rate * self.value_range)
+        start = region_start + self._rng.uniform(0.0, max(1e-9, region - width))
+        return PredicateSet.of(
+            Predicate(attribute, Op.GE, start),
+            Predicate(attribute, Op.LT, start + width),
+        )
+
+    def subscriptions(self, count: int):
+        for sub_id in range(count):
+            yield Subscription(sub_id, sub_id, self.predicate_set())
+
+
+class CorrelatedPublicationGenerator:
+    """Publications with correlated attributes via a Gaussian copula.
+
+    ``correlation`` is the pairwise correlation between consecutive
+    attributes (price↔volatility style); marginals stay uniform over
+    ``[0, value_range)`` so the matching-rate calibration of band filters
+    is preserved per attribute.
+    """
+
+    def __init__(
+        self,
+        dimensions: int = 4,
+        correlation: float = 0.7,
+        value_range: float = 1000.0,
+        seed: int = 0,
+    ):
+        if not -1.0 < correlation < 1.0:
+            raise ValueError("correlation must be in (-1, 1)")
+        self.dimensions = dimensions
+        self.correlation = correlation
+        self.value_range = value_range
+        self._rng = random.Random(seed)
+
+    def attributes(self) -> List[float]:
+        # AR(1)-style latent gaussians: z_i = ρ z_{i-1} + sqrt(1-ρ²) ε_i.
+        rho = self.correlation
+        z = self._rng.gauss(0.0, 1.0)
+        latents = [z]
+        for _ in range(1, self.dimensions):
+            z = rho * z + math.sqrt(1.0 - rho * rho) * self._rng.gauss(0.0, 1.0)
+            latents.append(z)
+        return [self._phi(value) * self.value_range for value in latents]
+
+    @staticmethod
+    def _phi(z: float) -> float:
+        """Standard normal CDF (maps the latent to a uniform marginal)."""
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+    def payload_factory(self) -> Callable[[int], List[float]]:
+        return lambda pub_id: self.attributes()
+
+
+class MultiSourceWorkload:
+    """Several independent publishers feeding one hub.
+
+    Each source has its own rate profile (e.g. exchanges in different time
+    zones) and its own sequence-number channels into the APs, exactly like
+    the paper's 4-slice source operator.
+    """
+
+    def __init__(self, hub, count: int = 4, seed: int = 0, poisson: bool = False):
+        if count <= 0:
+            raise ValueError("need at least one source")
+        self.hub = hub
+        # Disjoint publication-id spaces: EP slices join partial match
+        # lists by publication id, so ids must be unique across sources.
+        self.sources: List[SourceDriver] = [
+            SourceDriver(hub, name=f"source:{index}", seed=seed + index,
+                         poisson=poisson, pub_id_offset=index,
+                         pub_id_stride=count)
+            for index in range(count)
+        ]
+
+    def publish_profiles(
+        self,
+        profiles: Sequence[Callable[[float], float]],
+        duration_s: float,
+        payload_factory: Optional[Callable[[int], object]] = None,
+    ):
+        """Start one publishing process per source; returns the processes."""
+        if len(profiles) != len(self.sources):
+            raise ValueError("need exactly one profile per source")
+        return [
+            source.publish_profile(profile, duration_s, payload_factory)
+            for source, profile in zip(self.sources, profiles)
+        ]
+
+    def total_published(self) -> int:
+        return sum(source.publications_sent for source in self.sources)

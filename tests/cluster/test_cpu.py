@@ -1,0 +1,146 @@
+"""Unit tests for the CPU scheduler and utilization accounting."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.cluster import CpuScheduler
+
+
+def test_task_takes_cpu_seconds_when_idle():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=4)
+    done = []
+
+    def proc():
+        yield from cpu.run(2.5, tag="s1")
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [2.5]
+
+
+def test_tasks_share_cores_in_parallel():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=2)
+    done = []
+
+    def proc(name):
+        yield from cpu.run(1.0, tag=name)
+        done.append((name, env.now))
+
+    for name in ["a", "b", "c"]:
+        env.process(proc(name))
+    env.run()
+    # Two run in parallel; the third waits for a core.
+    assert ("a", 1.0) in done and ("b", 1.0) in done and ("c", 2.0) in done
+
+
+def test_busy_time_integration_exact():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=2)
+
+    def proc(duration):
+        yield from cpu.run(duration)
+
+    env.process(proc(3.0))
+    env.process(proc(1.0))
+    env.run()
+    assert cpu.busy_core_seconds() == pytest.approx(4.0)
+
+
+def test_utilization_between_snapshots():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=2)
+    results = {}
+
+    def worker():
+        yield from cpu.run(4.0, tag="w")
+
+    def observer():
+        before = cpu.snapshot()
+        yield env.timeout(8.0)
+        results["util"] = cpu.utilization_between(before)
+        results["per_tag"] = cpu.tag_core_usage_between(before)
+
+    env.process(worker())
+    env.process(observer())
+    env.run()
+    # 4 busy core-seconds over 8 s × 2 cores = 25%.
+    assert results["util"] == pytest.approx(0.25)
+    assert results["per_tag"]["w"] == pytest.approx(0.5)
+
+
+def test_per_tag_accounting_separates_slices():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=4)
+
+    def worker(tag, duration):
+        yield from cpu.run(duration, tag=tag)
+
+    env.process(worker("s1", 2.0))
+    env.process(worker("s2", 6.0))
+    env.run()
+    snap = cpu.snapshot()
+    assert snap.per_tag == {"s1": pytest.approx(2.0), "s2": pytest.approx(6.0)}
+
+
+def test_queued_and_active_counts():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=1)
+    observed = {}
+
+    def worker():
+        yield from cpu.run(5.0)
+
+    def sampler():
+        yield env.timeout(1.0)
+        observed["active"] = cpu.active_tasks
+        observed["queued"] = cpu.queued_tasks
+
+    env.process(worker())
+    env.process(worker())
+    env.process(worker())
+    env.process(sampler())
+    env.run()
+    assert observed == {"active": 1, "queued": 2}
+
+
+def test_zero_length_task_completes():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=1)
+    done = []
+
+    def proc():
+        yield from cpu.run(0.0)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [0.0]
+
+
+def test_negative_cpu_seconds_rejected():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=1)
+
+    def proc():
+        yield from cpu.run(-1.0)
+
+    env.process(proc())
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_invalid_core_count_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CpuScheduler(env, cores=0)
+
+
+def test_utilization_zero_elapsed_is_zero():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=1)
+    snap = cpu.snapshot()
+    assert cpu.utilization_between(snap) == 0.0
+    assert cpu.tag_core_usage_between(snap) == {}

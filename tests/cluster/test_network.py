@@ -1,0 +1,103 @@
+"""Unit tests for the simulated network fabric."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.cluster import Network
+
+
+def make_net(env, bandwidth=100.0, latency=1.0, loopback=0.1):
+    net = Network(
+        env,
+        bandwidth_bytes_per_s=bandwidth,
+        latency_s=latency,
+        loopback_latency_s=loopback,
+    )
+    net.attach("h1")
+    net.attach("h2")
+    return net
+
+
+def test_message_arrives_after_transfer_plus_latency():
+    env = Environment()
+    net = make_net(env)
+    arrivals = []
+    net.send("h1", "h2", size_bytes=200, payload="msg", deliver=lambda p: arrivals.append((env.now, p)))
+    env.run()
+    # 200 B / 100 B/s = 2 s serialization + 1 s latency.
+    assert arrivals == [(3.0, "msg")]
+
+
+def test_nic_serializes_concurrent_sends():
+    env = Environment()
+    net = make_net(env)
+    arrivals = []
+    net.send("h1", "h2", 100, "a", lambda p: arrivals.append((env.now, p)))
+    net.send("h1", "h2", 100, "b", lambda p: arrivals.append((env.now, p)))
+    env.run()
+    # Each takes 1 s on the NIC; the second queues behind the first.
+    assert arrivals == [(2.0, "a"), (3.0, "b")]
+
+
+def test_loopback_bypasses_nic():
+    env = Environment()
+    net = make_net(env)
+    arrivals = []
+    net.send("h1", "h1", 10_000, "local", lambda p: arrivals.append(env.now))
+    env.run()
+    assert arrivals == [pytest.approx(0.1)]
+
+
+def test_byte_accounting():
+    env = Environment()
+    net = make_net(env)
+    net.send("h1", "h2", 300, None, lambda p: None)
+    env.run()
+    assert net.stats("h1").bytes_sent == 300
+    assert net.stats("h1").messages_sent == 1
+    assert net.stats("h2").bytes_received == 300
+    assert net.stats("h2").messages_received == 1
+
+
+def test_transfer_time_helper():
+    env = Environment()
+    net = make_net(env, bandwidth=50.0)
+    assert net.transfer_time(100) == pytest.approx(2.0)
+
+
+def test_unattached_sender_still_delivers():
+    env = Environment()
+    net = make_net(env)
+    arrivals = []
+    net.send("client-7", "h2", 100, "sub", lambda p: arrivals.append(env.now))
+    env.run()
+    assert arrivals == [pytest.approx(2.0)]
+
+
+def test_detach_removes_nic_queueing_but_keeps_stats():
+    env = Environment()
+    net = make_net(env)
+    net.send("h1", "h2", 100, None, lambda p: None)
+    env.run()
+    net.detach("h1")
+    assert not net.is_attached("h1")
+    assert net.stats("h1").bytes_sent == 100
+
+
+def test_send_returns_arrival_time_and_busy_watermark():
+    env = Environment()
+    net = make_net(env)
+    arrival = net.send("h1", "h2", 100, None, lambda p: None)
+    assert arrival == pytest.approx(2.0)
+    assert net.nic_busy_until("h1") == pytest.approx(1.0)
+
+
+def test_invalid_parameters_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Network(env, bandwidth_bytes_per_s=0)
+    with pytest.raises(ValueError):
+        Network(env, latency_s=-1)
+    net = make_net(env)
+    with pytest.raises(ValueError):
+        net.send("h1", "h2", -5, None, lambda p: None)

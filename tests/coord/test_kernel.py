@@ -1,0 +1,192 @@
+"""Unit tests for the coordination kernel."""
+
+import pytest
+
+from repro.coord import (
+    BadVersionError,
+    CoordinationKernel,
+    NoNodeError,
+    NodeExistsError,
+    NotEmptyError,
+    SessionClosedError,
+    WatchedEvent,
+)
+
+
+@pytest.fixture
+def zk():
+    return CoordinationKernel()
+
+
+def test_create_and_get(zk):
+    zk.create("/config", data={"hosts": 3})
+    data, stat = zk.get("/config")
+    assert data == {"hosts": 3}
+    assert stat.version == 0
+
+
+def test_create_duplicate_rejected(zk):
+    zk.create("/a")
+    with pytest.raises(NodeExistsError):
+        zk.create("/a")
+
+
+def test_create_missing_parent_rejected(zk):
+    with pytest.raises(NoNodeError):
+        zk.create("/a/b/c")
+
+
+def test_create_with_make_parents(zk):
+    zk.create("/a/b/c", data=1, make_parents=True)
+    assert zk.get("/a/b/c")[0] == 1
+    assert zk.get_children("/a") == ["b"]
+
+
+def test_relative_path_rejected(zk):
+    with pytest.raises(ValueError):
+        zk.create("relative")
+    with pytest.raises(ValueError):
+        zk.get("//double")
+    with pytest.raises(ValueError):
+        zk.get("/trailing/")
+
+
+def test_set_bumps_version(zk):
+    zk.create("/n", data=1)
+    stat = zk.set("/n", 2)
+    assert stat.version == 1
+    assert zk.get("/n")[0] == 2
+
+
+def test_conditional_set_enforces_version(zk):
+    zk.create("/n", data=1)
+    zk.set("/n", 2, version=0)
+    with pytest.raises(BadVersionError):
+        zk.set("/n", 3, version=0)
+    assert zk.get("/n")[0] == 2
+
+
+def test_delete_leaf_only(zk):
+    zk.create("/parent")
+    zk.create("/parent/child")
+    with pytest.raises(NotEmptyError):
+        zk.delete("/parent")
+    zk.delete("/parent/child")
+    zk.delete("/parent")
+    assert zk.exists("/parent") is None
+
+
+def test_conditional_delete(zk):
+    zk.create("/n", data=1)
+    zk.set("/n", 2)
+    with pytest.raises(BadVersionError):
+        zk.delete("/n", version=0)
+    zk.delete("/n", version=1)
+
+
+def test_get_children_sorted(zk):
+    zk.create("/dir")
+    for name in ["b", "a", "c"]:
+        zk.create(f"/dir/{name}")
+    assert zk.get_children("/dir") == ["a", "b", "c"]
+
+
+def test_sequential_nodes_get_increasing_suffixes(zk):
+    zk.create("/queue")
+    p1 = zk.create("/queue/item-", sequential=True)
+    p2 = zk.create("/queue/item-", sequential=True)
+    assert p1 == "/queue/item-0000000000"
+    assert p2 == "/queue/item-0000000001"
+    assert zk.get_children("/queue") == ["item-0000000000", "item-0000000001"]
+
+
+def test_ephemeral_nodes_die_with_session(zk):
+    session = zk.session()
+    zk.create("/live", session=session, ephemeral=True)
+    assert zk.exists("/live") is not None
+    session.close()
+    assert zk.exists("/live") is None
+
+
+def test_ephemeral_requires_session(zk):
+    with pytest.raises(ValueError):
+        zk.create("/x", ephemeral=True)
+
+
+def test_closed_session_rejected(zk):
+    session = zk.session()
+    session.close()
+    with pytest.raises(SessionClosedError):
+        zk.create("/x", session=session, ephemeral=True)
+
+
+def test_data_watch_fires_once_on_change(zk):
+    zk.create("/n", data=1)
+    events = []
+    zk.get("/n", watch=events.append)
+    zk.set("/n", 2)
+    zk.set("/n", 3)  # watch is one-shot: no second event
+    assert len(events) == 1
+    assert events[0].kind == WatchedEvent.CHANGED
+    assert events[0].path == "/n"
+
+
+def test_data_watch_fires_on_delete(zk):
+    zk.create("/n")
+    events = []
+    zk.get("/n", watch=events.append)
+    zk.delete("/n")
+    assert [e.kind for e in events] == [WatchedEvent.DELETED]
+
+
+def test_exists_watch_fires_on_create(zk):
+    events = []
+    assert zk.exists("/future", watch=events.append) is None
+    zk.create("/future")
+    assert [e.kind for e in events] == [WatchedEvent.CREATED]
+
+
+def test_child_watch_fires_on_child_create_and_delete(zk):
+    zk.create("/dir")
+    events = []
+    zk.get_children("/dir", watch=events.append)
+    zk.create("/dir/a")
+    assert len(events) == 1  # one-shot
+    zk.get_children("/dir", watch=events.append)
+    zk.delete("/dir/a")
+    assert len(events) == 2
+    assert all(e.kind == WatchedEvent.CHILD for e in events)
+
+
+def test_ensure_path_idempotent(zk):
+    zk.ensure_path("/a/b/c")
+    zk.ensure_path("/a/b/c")
+    assert zk.exists("/a/b/c") is not None
+
+
+def test_walk_lists_subtree_depth_first(zk):
+    zk.ensure_path("/a/x")
+    zk.ensure_path("/a/y")
+    zk.ensure_path("/b")
+    assert zk.walk() == ["/a", "/a/x", "/a/y", "/b"]
+    assert zk.walk("/a") == ["/a/x", "/a/y"]
+
+
+def test_ephemeral_cleanup_is_deepest_first(zk):
+    # Ephemerals are leaves in ZooKeeper; our cleanup must not trip over
+    # ordering when multiple ephemerals exist under the same parent.
+    session = zk.session()
+    zk.ensure_path("/members")
+    zk.create("/members/m1", session=session, ephemeral=True)
+    zk.create("/members/m2", session=session, ephemeral=True)
+    session.close()
+    assert zk.get_children("/members") == []
+
+
+def test_stat_tracks_ephemeral_owner(zk):
+    session = zk.session()
+    zk.create("/e", session=session, ephemeral=True)
+    stat = zk.exists("/e")
+    assert stat.ephemeral_owner == session.session_id
+    zk.create("/p")
+    assert zk.exists("/p").ephemeral_owner is None

@@ -1,0 +1,99 @@
+"""Edge-case tests for the coordination kernel."""
+
+import pytest
+
+from repro.coord import (
+    CoordinationKernel,
+    NoNodeError,
+    NodeExistsError,
+    WatchedEvent,
+)
+
+
+@pytest.fixture
+def zk():
+    return CoordinationKernel()
+
+
+def test_session_double_close_is_noop(zk):
+    session = zk.session()
+    zk.create("/e", session=session, ephemeral=True)
+    session.close()
+    session.close()
+    assert zk.exists("/e") is None
+
+
+def test_exists_watch_survives_delete_create_cycle(zk):
+    zk.create("/n")
+    zk.delete("/n")
+    events = []
+    assert zk.exists("/n", watch=events.append) is None
+    zk.create("/n")
+    assert [e.kind for e in events] == [WatchedEvent.CREATED]
+
+
+def test_sequential_counters_are_per_parent(zk):
+    zk.create("/a")
+    zk.create("/b")
+    first_a = zk.create("/a/item-", sequential=True)
+    first_b = zk.create("/b/item-", sequential=True)
+    assert first_a.endswith("0000000000")
+    assert first_b.endswith("0000000000")
+
+
+def test_sequential_counter_not_reused_after_delete(zk):
+    zk.create("/q")
+    path = zk.create("/q/n-", sequential=True)
+    zk.delete(path)
+    second = zk.create("/q/n-", sequential=True)
+    assert second.endswith("0000000001")
+
+
+def test_deep_walk_order(zk):
+    zk.ensure_path("/a/b/c")
+    zk.ensure_path("/a/d")
+    assert zk.walk("/") == ["/a", "/a/b", "/a/b/c", "/a/d"]
+
+
+def test_create_under_missing_root_with_make_parents(zk):
+    actual = zk.create("/x/y/z/leaf-", sequential=True, make_parents=True)
+    assert actual.startswith("/x/y/z/leaf-")
+    assert zk.get_children("/x/y/z") == [actual.rsplit("/", 1)[1]]
+
+
+def test_set_then_get_returns_new_version(zk):
+    zk.create("/v", data=0)
+    for value in range(1, 4):
+        zk.set("/v", value)
+    data, stat = zk.get("/v")
+    assert data == 3
+    assert stat.version == 3
+
+
+def test_delete_root_rejected(zk):
+    with pytest.raises(ValueError):
+        zk.delete("/")
+
+
+def test_create_root_rejected(zk):
+    with pytest.raises(NodeExistsError):
+        zk.create("/")
+
+
+def test_watch_not_fired_for_sibling_changes(zk):
+    zk.create("/a")
+    zk.create("/b")
+    events = []
+    zk.get("/a", watch=events.append)
+    zk.set("/b", 1)
+    assert events == []
+
+
+def test_child_watch_not_fired_for_grandchildren(zk):
+    zk.ensure_path("/p/c")
+    events = []
+    zk.get_children("/p", watch=events.append)
+    zk.create("/p/c/grandchild")
+    assert events == []
+    zk.create("/p/c2")
+    assert len(events) == 1

@@ -1,0 +1,92 @@
+"""Tests for First Fit Decreasing placement."""
+
+import pytest
+
+from repro.elastic import HostBin, SliceLoad, first_fit_decreasing
+
+GIB = 1024 ** 3
+
+
+def item(name, cpu, mem=1):
+    return SliceLoad(name, cpu, mem)
+
+
+def host_bin(name, capacity=4.0, used=0.0, mem_capacity=8 * GIB, mem_used=0):
+    return HostBin(name, capacity, mem_capacity, used, mem_used)
+
+
+def test_places_into_first_fitting_bin():
+    bins = [host_bin("h1", used=3.5), host_bin("h2")]
+    placement = first_fit_decreasing([item("s", 1.0)], bins, 4.0, 8 * GIB)
+    assert placement.assignments == {"s": "h2"}
+    assert placement.new_hosts == 0
+
+
+def test_decreasing_order_packs_big_items_first():
+    bins = [host_bin("h1", capacity=3.0)]
+    placement = first_fit_decreasing(
+        [item("small", 1.0), item("big", 2.0)], bins, 3.0, 8 * GIB
+    )
+    # big first into h1 (2.0), then small fits alongside (3.0 total).
+    assert placement.assignments == {"big": "h1", "small": "h1"}
+
+
+def test_opens_new_hosts_when_needed():
+    bins = [host_bin("h1", used=4.0)]
+    placement = first_fit_decreasing(
+        [item("a", 1.5), item("b", 2.5)], bins, 4.0, 8 * GIB
+    )
+    assert placement.new_hosts == 1
+    assert placement.assignments["a"] == "new-0"
+    assert placement.assignments["b"] == "new-0"
+    assert placement.uses_new_hosts
+
+
+def test_second_new_host_opened_when_first_is_full():
+    bins = [host_bin("h1", used=4.0)]
+    placement = first_fit_decreasing(
+        [item("a", 2.0), item("b", 2.5)], bins, 4.0, 8 * GIB
+    )
+    assert placement.new_hosts == 2
+
+
+def test_new_hosts_disallowed_returns_none():
+    bins = [host_bin("h1", used=4.0)]
+    placement = first_fit_decreasing(
+        [item("a", 2.0)], bins, 4.0, 8 * GIB, allow_new_hosts=False
+    )
+    assert placement is None
+
+
+def test_max_new_hosts_respected():
+    placement = first_fit_decreasing(
+        [item("a", 4.0), item("b", 4.0)], [], 4.0, 8 * GIB, max_new_hosts=1
+    )
+    assert placement is None
+
+
+def test_item_larger_than_any_host_unplaceable():
+    placement = first_fit_decreasing([item("a", 9.0)], [], 4.0, 8 * GIB)
+    assert placement is None
+
+
+def test_memory_constraint_blocks_placement():
+    bins = [host_bin("h1", mem_capacity=100, mem_used=90)]
+    placement = first_fit_decreasing(
+        [SliceLoad("a", 0.1, 50)], bins, 4.0, 200
+    )
+    assert placement.assignments == {"a": "new-0"}
+
+
+def test_empty_items_is_trivial():
+    placement = first_fit_decreasing([], [host_bin("h1")], 4.0, 8 * GIB)
+    assert placement.assignments == {}
+    assert placement.new_hosts == 0
+
+
+def test_bins_mutated_reflect_cumulative_usage():
+    bins = [host_bin("h1", capacity=4.0)]
+    first_fit_decreasing(
+        [item("a", 2.0), item("b", 2.0)], bins, 4.0, 8 * GIB
+    )
+    assert bins[0].cpu_used_cores == pytest.approx(4.0)

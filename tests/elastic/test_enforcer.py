@@ -1,0 +1,176 @@
+"""Tests for the two-step elasticity enforcer."""
+
+import pytest
+
+from repro.elastic import (
+    ElasticityEnforcer,
+    ElasticityPolicy,
+    ViolationKind,
+)
+from repro.elastic.policy import Violation
+from repro.elastic.probes import HostProbe, ProbeSet, SliceProbe
+
+GIB = 1024 ** 3
+MIB = 1024 ** 2
+
+
+def make_probes(host_slices):
+    """host_slices: {host_id: [(slice_id, cpu_cores, memory_bytes), ...]}"""
+    hosts = {}
+    slices = {}
+    for host_id, entries in host_slices.items():
+        load = sum(cpu for _, cpu, _ in entries)
+        hosts[host_id] = HostProbe(host_id, 8, load / 8.0, 0, 0, 0)
+        for slice_id, cpu, mem in entries:
+            slices[slice_id] = SliceProbe(slice_id, host_id, cpu, mem, 0)
+    return ProbeSet(time=0.0, window_s=5.0, hosts=hosts, slices=slices)
+
+
+@pytest.fixture
+def enforcer():
+    return ElasticityEnforcer(ElasticityPolicy(), host_cores=8, host_memory_bytes=8 * GIB)
+
+
+class TestScaleOut:
+    def test_figure5_example(self, enforcer):
+        """Paper Figure 5: hosts at 74% and 73%; the min-memory slices (APs
+        on host 1, EPs on host 2) move to one new host."""
+        probes = make_probes({
+            "host1": [
+                ("AP:1", 1.0, 16 * MIB),
+                ("AP:2", 1.0, 16 * MIB),
+                ("M:1", 1.96, 400 * MIB),
+                ("M:2", 1.96, 400 * MIB),
+            ],
+            "host2": [
+                ("EP:1", 0.92, 20 * MIB),
+                ("EP:2", 0.92, 20 * MIB),
+                ("M:3", 2.0, 400 * MIB),
+                ("M:4", 2.0, 400 * MIB),
+            ],
+        })
+        violation = ElasticityPolicy().check(probes)
+        assert violation.kind is ViolationKind.GLOBAL_OVERLOAD
+        decision = enforcer.resolve(probes, violation)
+        moved = {m.slice_id for m in decision.migrations}
+        assert moved == {"AP:1", "AP:2", "EP:1", "EP:2"}
+        assert decision.new_hosts == 1
+        assert all(m.to_host == "new-0" for m in decision.migrations)
+
+    def test_scale_out_uses_existing_headroom_first(self, enforcer):
+        probes = make_probes({
+            "busy": [("M:0", 3.0, 100), ("M:1", 3.0, 100), ("AP:0", 0.8, 10)],
+            "idle": [("EP:0", 0.4, 10)],
+        })
+        decision = enforcer.resolve(
+            probes, Violation(ViolationKind.GLOBAL_OVERLOAD, 0.45)
+        )
+        # busy at 85%: ~2.8 cores must leave; idle has 3.6 cores headroom
+        # below target, so no new host should be needed.
+        assert decision.new_hosts == 0
+        assert all(m.to_host == "idle" for m in decision.migrations)
+        assert all(m.from_host == "busy" for m in decision.migrations)
+
+    def test_no_overloaded_host_yields_none(self, enforcer):
+        probes = make_probes({"h": [("M:0", 2.0, 100)]})  # 25% util
+        assert enforcer.resolve(
+            probes, Violation(ViolationKind.GLOBAL_OVERLOAD, 0.9)
+        ) is None
+
+    def test_migrations_never_target_origin_host(self, enforcer):
+        probes = make_probes({
+            "h1": [(f"M:{i}", 0.8, 100) for i in range(8)],  # 80% util
+        })
+        decision = enforcer.resolve(
+            probes, Violation(ViolationKind.GLOBAL_OVERLOAD, 0.8)
+        )
+        assert decision is not None
+        assert all(m.to_host != "h1" for m in decision.migrations)
+
+
+class TestScaleIn:
+    def test_releases_least_loaded_host(self, enforcer):
+        probes = make_probes({
+            "h1": [("M:0", 1.2, 100)],
+            "h2": [("M:1", 1.0, 100)],
+            "h3": [("AP:0", 0.2, 10)],
+        })
+        decision = enforcer.resolve(
+            probes, Violation(ViolationKind.GLOBAL_UNDERLOAD, 0.1)
+        )
+        # Total 2.4 cores needs ceil(2.4/4) = 1 host; two can go; the least
+        # loaded (h3 then h2) are chosen.
+        assert set(decision.release_hosts) == {"h3", "h2"}
+        assert {m.slice_id for m in decision.migrations} == {"AP:0", "M:1"}
+        for migration in decision.migrations:
+            assert migration.to_host not in decision.release_hosts
+
+    def test_no_release_when_load_requires_all_hosts(self, enforcer):
+        probes = make_probes({
+            "h1": [("M:0", 3.2, 100)],
+            "h2": [("M:1", 3.2, 100)],
+        })
+        # 6.4 cores / 4-core target capacity = 2 hosts: no excess.
+        assert enforcer.resolve(
+            probes, Violation(ViolationKind.GLOBAL_UNDERLOAD, 0.4)
+        ) is None
+
+    def test_never_goes_below_min_hosts(self):
+        policy = ElasticityPolicy(min_hosts=2)
+        enforcer = ElasticityEnforcer(policy, host_cores=8, host_memory_bytes=8 * GIB)
+        probes = make_probes({
+            "h1": [("M:0", 0.1, 10)],
+            "h2": [("M:1", 0.1, 10)],
+            "h3": [("AP:0", 0.1, 10)],
+        })
+        decision = enforcer.resolve(
+            probes, Violation(ViolationKind.GLOBAL_UNDERLOAD, 0.0125)
+        )
+        assert len(decision.release_hosts) == 1
+
+    def test_empty_host_released_without_migrations(self, enforcer):
+        probes = make_probes({
+            "h1": [("M:0", 1.0, 100)],
+            "h2": [],
+        })
+        decision = enforcer.resolve(
+            probes, Violation(ViolationKind.GLOBAL_UNDERLOAD, 0.0625)
+        )
+        assert decision.release_hosts == ["h2"]
+        assert decision.migrations == []
+
+
+class TestLocalRule:
+    def test_local_overload_rebalances_to_existing_hosts(self, enforcer):
+        probes = make_probes({
+            "hot": [("M:0", 4.0, 100), ("M:1", 3.3, 100)],  # ≈ 91%
+            "cold": [("AP:0", 0.4, 10)],  # 5%
+        })
+        decision = enforcer.resolve(
+            probes, Violation(ViolationKind.LOCAL_OVERLOAD, 0.9125, host_id="hot")
+        )
+        assert decision.kind is ViolationKind.LOCAL_OVERLOAD
+        assert decision.new_hosts == 0
+        assert all(m.from_host == "hot" and m.to_host == "cold"
+                   for m in decision.migrations)
+
+    def test_local_overload_opens_new_host_as_last_resort(self, enforcer):
+        probes = make_probes({
+            "hot": [("M:0", 4.0, 100), ("M:1", 3.2, 100)],
+            "alsohot": [("M:2", 3.9, 100)],
+        })
+        decision = enforcer.resolve(
+            probes, Violation(ViolationKind.LOCAL_OVERLOAD, 0.9, host_id="hot")
+        )
+        assert decision.new_hosts == 1
+
+    def test_unknown_host_yields_none(self, enforcer):
+        probes = make_probes({"h": [("M:0", 1.0, 100)]})
+        assert enforcer.resolve(
+            probes, Violation(ViolationKind.LOCAL_OVERLOAD, 0.9, host_id="ghost")
+        ) is None
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        ElasticityEnforcer(ElasticityPolicy(), host_cores=0)

@@ -1,0 +1,132 @@
+"""Manager failover: a standby takes over from shared coordination state.
+
+The paper stores the whole manager state in ZooKeeper so that the manager
+"can easily be restarted in case of failure" (§IV-B).  These tests promote
+a standby through the leader-election recipe and verify it resumes elastic
+control from the stored configuration.
+"""
+
+import pytest
+
+from repro.cluster import CloudProvider, HostSpec
+from repro.coord import CoordinationKernel, LeaderElection
+from repro.elastic import ElasticityManager, ElasticityPolicy
+from repro.filtering import CostModel
+from repro.pubsub import HubConfig, StreamHub, Subscription
+from repro.pubsub.source import SourceDriver
+from repro.sim import Environment
+
+HEAVY_COST = CostModel(aspe_match_op_s=100e-6)
+
+
+def build_deployment(subs=4000):
+    env = Environment()
+    cloud = CloudProvider(env, spec=HostSpec(cores=8), max_hosts=20,
+                          provisioning_delay_s=1.0)
+    engine_hosts = [cloud.provision_now()]
+    sink_host = cloud.provision_now()
+    config = HubConfig.sampled(
+        0.01, ap_slices=2, m_slices=4, ep_slices=2, sink_slices=1,
+        cost_model=HEAVY_COST,
+    )
+    hub = StreamHub(env, cloud.network, config)
+    hub.deploy_all_on(engine_hosts, [sink_host])
+    for sub_id in range(subs):
+        hub.subscribe(Subscription(sub_id, sub_id, None))
+    env.run()
+    return env, cloud, hub, engine_hosts
+
+
+def test_recover_rebuilds_manager_from_coordination_state():
+    env, cloud, hub, engine_hosts = build_deployment()
+    coord = CoordinationKernel()
+    primary = ElasticityManager(hub, cloud, engine_hosts, coord=coord)
+    primary.start()
+    SourceDriver(hub).publish_constant(rate_per_s=15.0, duration_s=80.0)
+    env.run(until=85.0)
+    assert primary.host_count >= 2  # it scaled out
+
+    primary.stop()
+    recovered = ElasticityManager.recover(hub, cloud, coord)
+    # The recovered manager sees exactly the hosts the primary managed.
+    assert {h.host_id for h in recovered.engine_hosts} == {
+        h.host_id for h in primary.engine_hosts
+    }
+    assert recovered.stored_placement() == primary.stored_placement()
+
+
+def test_standby_takes_over_via_leader_election():
+    env, cloud, hub, engine_hosts = build_deployment()
+    coord = CoordinationKernel()
+    managers = {}
+
+    # Primary manager process.
+    primary_session = coord.session()
+    primary_election = LeaderElection(coord, primary_session, candidate_id="primary")
+
+    def start_primary():
+        managers["primary"] = ElasticityManager(hub, cloud, engine_hosts, coord=coord)
+        managers["primary"].start()
+
+    primary_election.on_elected(start_primary)
+    primary_election.join()
+    assert "primary" in managers
+
+    # Standby joins and waits.
+    standby_session = coord.session()
+    standby_election = LeaderElection(coord, standby_session, candidate_id="standby")
+
+    def start_standby():
+        managers["standby"] = ElasticityManager.recover(hub, cloud, coord)
+        managers["standby"].start()
+
+    standby_election.on_elected(start_standby)
+    standby_election.join()
+    assert "standby" not in managers  # not leader yet
+
+    # Rising load so the standby must keep scaling after the takeover.
+    SourceDriver(hub).publish_profile(
+        lambda t: 15.0 if t < 100.0 else 28.0, duration_s=230.0
+    )
+
+    def crash_primary():
+        yield env.timeout(70.0)
+        managers["primary"].stop()
+        primary_session.close()  # ephemeral election node disappears
+
+    env.process(crash_primary())
+    env.run(until=220.0)
+    assert standby_election.is_leader
+    assert managers["standby"].host_count >= 2
+    env.run(until=250.0)  # drain the tail
+
+    # The standby was promoted and continued managing the system.
+    assert standby_election.is_leader
+    assert "standby" in managers
+    standby = managers["standby"]
+    primary = managers["primary"]
+    # Scaling decisions happened on both sides of the failover.
+    assert primary.history, "primary never acted"
+    assert standby.history, "standby never acted after takeover"
+    assert all(r.time > 70.0 for r in standby.history)
+    live = {
+        k: v for k, v in hub.runtime.placement().items()
+        if k in hub.engine_slice_ids()
+    }
+    stored = {
+        k: v for k, v in standby.stored_placement().items()
+        if k in hub.engine_slice_ids()
+    }
+    assert stored == live
+    assert hub.published_count == hub.notified_publications
+
+
+def test_stopped_manager_takes_no_further_decisions():
+    env, cloud, hub, engine_hosts = build_deployment()
+    manager = ElasticityManager(hub, cloud, engine_hosts, coord=CoordinationKernel())
+    manager.start()
+    manager.stop()
+    SourceDriver(hub).publish_constant(rate_per_s=20.0, duration_s=60.0)
+    env.run(until=70.0)
+    assert manager.history == []
+    assert manager.host_count == 1

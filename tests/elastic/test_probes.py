@@ -1,0 +1,98 @@
+"""Tests for the probe collector."""
+
+import pytest
+
+from repro.elastic import ProbeCollector
+from repro.filtering import CostModel
+from tests.engine.helpers import Harness, Recorder
+
+
+def make_collector(h, interval=5.0):
+    return ProbeCollector(
+        h.runtime,
+        managed_slices=h.runtime.slice_ids(),
+        hosts_fn=lambda: h.hosts,
+        cost_model=CostModel(),
+        interval_s=interval,
+    )
+
+
+def test_collect_now_reports_hosts_and_slices():
+    h = Harness(hosts=2, cores=4)
+    h.runtime.add_operator("M", 2, lambda i: Recorder(cost_s=1.0))
+    h.runtime.deploy_operator("M", h.hosts)
+    collector = make_collector(h)
+    collector.collect_now()  # prime snapshots
+
+    def load():
+        for _ in range(4):
+            h.runtime.inject("client", "M", "e", 1, 100, key=0)
+        yield h.env.timeout(8.0)
+
+    h.env.process(load())
+    h.env.run()
+    probes = collector.collect_now()
+    assert set(probes.hosts) == {h.hosts[0].host_id, h.hosts[1].host_id}
+    assert set(probes.slices) == {"M:0", "M:1"}
+    # M:0 (on host 0) consumed 4 CPU-seconds over an 8 s window on 4 cores.
+    host0 = probes.hosts[h.hosts[0].host_id]
+    assert host0.cpu_utilization == pytest.approx(4.0 / (4 * 8.0), rel=0.05)
+    assert probes.slices["M:0"].cpu_cores == pytest.approx(0.5, rel=0.05)
+    assert probes.slices["M:1"].cpu_cores == 0.0
+
+
+def test_probe_set_aggregates():
+    h = Harness(hosts=2, cores=4)
+    h.runtime.add_operator("M", 2, lambda i: Recorder())
+    h.runtime.deploy_operator("M", h.hosts)
+    collector = make_collector(h)
+    probes = collector.collect_now()
+    assert probes.average_utilization() == 0.0
+    assert probes.total_load_cores() == 0.0
+    assert probes.slices_on(h.hosts[0].host_id)[0].slice_id == "M:0"
+
+
+def test_memory_probe_includes_state_and_base():
+    h = Harness(hosts=1)
+    from tests.engine.helpers import CountingState
+
+    h.runtime.add_operator("S", 1, lambda i: CountingState(bytes_per_entry=1000))
+    h.runtime.deploy_operator("S", h.hosts)
+    for i in range(5):
+        h.runtime.inject("client", "S", "add", (i, i), 100, key=0)
+    h.env.run()
+    collector = ProbeCollector(
+        h.runtime, ["S:0"], lambda: h.hosts, CostModel(), interval_s=5.0
+    )
+    probes = collector.collect_now()
+    assert probes.slices["S:0"].memory_bytes == 5 * 1000 + CostModel().slice_base_bytes
+
+
+def test_periodic_collection_notifies_subscribers():
+    h = Harness(hosts=1)
+    h.runtime.add_operator("M", 1, lambda i: Recorder())
+    h.runtime.deploy_operator("M", h.hosts)
+    collector = make_collector(h, interval=5.0)
+    received = []
+    collector.subscribe(received.append)
+    collector.start()
+    h.env.run(until=26.0)
+    assert len(received) == 5
+    assert [p.time for p in received] == [5.0, 10.0, 15.0, 20.0, 25.0]
+    assert all(p.window_s == 5.0 for p in received)
+
+
+def test_double_start_rejected():
+    h = Harness(hosts=1)
+    h.runtime.add_operator("M", 1, lambda i: Recorder())
+    h.runtime.deploy_operator("M", h.hosts)
+    collector = make_collector(h)
+    collector.start()
+    with pytest.raises(RuntimeError):
+        collector.start()
+
+
+def test_invalid_interval():
+    h = Harness(hosts=1)
+    with pytest.raises(ValueError):
+        ProbeCollector(h.runtime, [], lambda: [], CostModel(), interval_s=0)

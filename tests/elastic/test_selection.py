@@ -1,0 +1,113 @@
+"""Tests for subset-sum slice selection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.elastic import SliceLoad, select_slices
+
+
+def sl(name, cpu, mem):
+    return SliceLoad(name, cpu, mem)
+
+
+def test_nothing_required_selects_nothing():
+    assert select_slices([sl("a", 1.0, 10)], 0.0) == []
+    assert select_slices([sl("a", 1.0, 10)], -1.0) == []
+
+
+def test_insufficient_candidates_selects_all():
+    candidates = [sl("a", 0.5, 10), sl("b", 0.5, 10)]
+    assert select_slices(candidates, 5.0) == candidates
+
+
+def test_exact_single_slice():
+    candidates = [sl("a", 1.0, 10), sl("b", 2.0, 20)]
+    selected = select_slices(candidates, 2.0)
+    assert [s.slice_id for s in selected] == ["b"]
+
+
+def test_minimal_memory_among_feasible_sets():
+    # Both {heavy} and {light1, light2} reach the requirement; the pair has
+    # less total memory and must win.
+    candidates = [
+        sl("heavy", 2.0, 1000),
+        sl("light1", 1.0, 100),
+        sl("light2", 1.0, 100),
+    ]
+    selected = select_slices(candidates, 2.0)
+    assert sorted(s.slice_id for s in selected) == ["light1", "light2"]
+
+
+def test_figure5_style_min_memory_selection():
+    """The paper's Figure 5: AP slices with low memory are preferred over
+    M slices with equal CPU but heavy state."""
+    candidates = [
+        sl("AP:1", 1.0, 50),
+        sl("AP:2", 1.0, 50),
+        sl("M:1", 1.0, 10_000),
+        sl("M:2", 1.0, 10_000),
+    ]
+    selected = select_slices(candidates, 2.0)
+    assert sorted(s.slice_id for s in selected) == ["AP:1", "AP:2"]
+
+
+def test_requirement_met_even_with_discretization():
+    candidates = [sl(f"s{i}", 0.333, 10) for i in range(10)]
+    selected = select_slices(candidates, 1.0)
+    assert sum(s.cpu_cores for s in selected) >= 1.0 - 0.011
+
+
+def test_invalid_granularity():
+    with pytest.raises(ValueError):
+        select_slices([sl("a", 1.0, 1)], 1.0, granularity_cores=0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    loads=st.lists(
+        st.tuples(
+            st.floats(0.05, 4.0, allow_nan=False),
+            st.integers(1, 10_000),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    required_fraction=st.floats(0.1, 1.0),
+)
+def test_selection_properties(loads, required_fraction):
+    candidates = [sl(f"s{i}", cpu, mem) for i, (cpu, mem) in enumerate(loads)]
+    total = sum(c.cpu_cores for c in candidates)
+    required = total * required_fraction
+    selected = select_slices(candidates, required)
+    # Feasibility: requirement met up to discretization slack.
+    slack = 0.011 * len(candidates)
+    assert sum(s.cpu_cores for s in selected) >= required - slack
+    # Selection is a subset without duplicates.
+    ids = [s.slice_id for s in selected]
+    assert len(ids) == len(set(ids))
+    assert all(s in candidates for s in selected)
+
+
+def test_brute_force_agreement_on_memory_optimality():
+    rng = random.Random(4)
+    for _ in range(30):
+        n = rng.randint(1, 8)
+        candidates = [
+            sl(f"s{i}", rng.uniform(0.1, 2.0), rng.randint(1, 100)) for i in range(n)
+        ]
+        required = rng.uniform(0.1, sum(c.cpu_cores for c in candidates))
+        selected = select_slices(candidates, required)
+        best_mem = None
+        for mask in range(1, 2 ** n):
+            subset = [candidates[i] for i in range(n) if mask >> i & 1]
+            if sum(s.cpu_cores for s in subset) >= required:
+                mem = sum(s.memory_bytes for s in subset)
+                best_mem = mem if best_mem is None else min(best_mem, mem)
+        got_mem = sum(s.memory_bytes for s in selected)
+        assert best_mem is not None
+        # Discretization may admit slightly different sets; allow the DP to
+        # match or beat brute force within one smallest item.
+        assert got_mem <= best_mem + max(c.memory_bytes for c in candidates)

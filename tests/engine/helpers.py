@@ -1,0 +1,85 @@
+"""Shared test handlers and a small deployment harness for engine tests."""
+
+from typing import Any, Dict, List, Optional
+
+from repro.cluster import CloudProvider, HostSpec
+from repro.engine import EngineRuntime, MigrationCosts, SliceHandler
+from repro.sim import Environment
+
+
+class Recorder(SliceHandler):
+    """Stores every received payload (with receive time and source)."""
+
+    def __init__(self, cost_s: float = 0.0):
+        self.cost_s = cost_s
+        self.received: List[Any] = []
+
+    def cost(self, event):
+        return self.cost_s
+
+    def process(self, event, ctx):
+        self.received.append((ctx.now, event.source, event.payload))
+
+
+class CountingState(SliceHandler):
+    """Stateful handler: accumulates values; migratable."""
+
+    def __init__(self, bytes_per_entry: int = 100, cost_s: float = 0.0):
+        self.bytes_per_entry = bytes_per_entry
+        self.cost_s = cost_s
+        self.values: Dict[Any, Any] = {}
+
+    def cost(self, event):
+        return self.cost_s
+
+    def lock_mode(self, event):
+        return "W"
+
+    def process(self, event, ctx):
+        key, value = event.payload
+        self.values[key] = value
+
+    def export_state(self):
+        return dict(self.values)
+
+    def import_state(self, state):
+        self.values = dict(state or {})
+
+    def state_size_bytes(self):
+        return len(self.values) * self.bytes_per_entry
+
+
+class Forwarder(SliceHandler):
+    """Relays payloads to a downstream operator, hashed by payload."""
+
+    def __init__(self, downstream: str, cost_s: float = 0.0, size_bytes: int = 100):
+        self.downstream = downstream
+        self.cost_s = cost_s
+        self.size_bytes = size_bytes
+        self.seen: List[Any] = []
+
+    def cost(self, event):
+        return self.cost_s
+
+    def process(self, event, ctx):
+        self.seen.append(event.payload)
+        ctx.emit(self.downstream, event.kind, event.payload, self.size_bytes, key=hash(event.payload))
+
+
+class Harness:
+    """Environment + cloud + runtime with convenience accessors."""
+
+    def __init__(self, hosts: int = 2, cores: int = 4, migration_costs: Optional[MigrationCosts] = None):
+        self.env = Environment()
+        self.cloud = CloudProvider(
+            self.env, spec=HostSpec(cores=cores), max_hosts=max(hosts, 30)
+        )
+        self.hosts = [self.cloud.provision_now() for _ in range(hosts)]
+        self.runtime = EngineRuntime(
+            self.env,
+            self.cloud.network,
+            migration_costs=migration_costs or MigrationCosts(),
+        )
+
+    def handler(self, slice_id):
+        return self.runtime.handler_of(slice_id)

@@ -1,0 +1,181 @@
+"""Unit tests for slice instances: parallelism, locks, dedup, halt."""
+
+import pytest
+
+from repro.engine import SliceHandler
+from .helpers import Harness, Recorder, CountingState
+
+
+def test_parallel_workers_process_read_events_concurrently():
+    h = Harness(hosts=1, cores=4)
+    h.runtime.add_operator("M", 1, lambda i: Recorder(cost_s=1.0), parallelism=4)
+    h.runtime.deploy_operator("M", h.hosts)
+    for value in range(4):
+        h.runtime.inject("client", "M", "e", value, 100, key=0)
+    h.env.run()
+    times = [t for (t, _, _) in h.handler("M:0").received]
+    # All four processed in parallel: they complete at (almost) the same time.
+    assert max(times) - min(times) < 0.01
+    assert max(times) < 1.1
+
+
+def test_write_events_serialize_on_slice_lock():
+    h = Harness(hosts=1, cores=4)
+    h.runtime.add_operator(
+        "S", 1, lambda i: CountingState(cost_s=1.0), parallelism=4
+    )
+    h.runtime.deploy_operator("S", h.hosts)
+    for value in range(3):
+        h.runtime.inject("client", "S", "add", (value, value), 100, key=0)
+    h.env.run()
+    # Three W-locked events of 1 s each must take at least 3 s of sim time.
+    assert h.env.now >= 3.0
+    assert h.handler("S:0").values == {0: 0, 1: 1, 2: 2}
+
+
+def test_parallelism_bounded_by_host_cores():
+    h = Harness(hosts=1, cores=2)
+    h.runtime.add_operator("M", 1, lambda i: Recorder(cost_s=1.0), parallelism=8)
+    h.runtime.deploy_operator("M", h.hosts)
+    for value in range(4):
+        h.runtime.inject("client", "M", "e", value, 100, key=0)
+    h.env.run()
+    # 4 events of 1 s on 2 cores: finish in two waves, ≈ 2 s total.
+    assert 2.0 <= h.env.now < 2.1
+
+
+def test_duplicate_events_filtered_by_migration_vector():
+    """Only instances activated after a migration filter duplicates, and
+    only against the frozen vector captured with the copied state."""
+    from repro.engine import StreamEvent
+    from repro.engine.instance import SliceInstance
+
+    h = Harness(hosts=1)
+    h.runtime.add_operator("M", 1, lambda i: Recorder())
+    h.runtime.deploy_operator("M", h.hosts)
+    recorder = Recorder()
+    migrated = SliceInstance(
+        h.runtime, "M:0", recorder, h.hosts[0], parallelism=2, buffering=True
+    )
+    migrated.activate({"client": 4})
+    # Stale duplicate (seq ≤ vector) is dropped; a fresh event is processed.
+    migrated.deliver(StreamEvent("e", "stale", "client", 4, 100, h.env.now))
+    migrated.deliver(StreamEvent("e", "fresh", "client", 5, 100, h.env.now))
+    h.env.run()
+    assert [p for (_, _, p) in recorder.received] == ["fresh"]
+    assert migrated.dropped_duplicates == 1
+
+
+def test_normal_instance_processes_out_of_order_completions():
+    """A never-migrated instance must not drop events even when parallel
+    workers complete later-sequence events first (max-watermark hazard)."""
+    h = Harness(hosts=1, cores=8)
+    h.runtime.add_operator("S", 1, lambda i: Recorder(), parallelism=8)
+    h.runtime.deploy_operator("S", h.hosts)
+    for i in range(20):
+        h.runtime.inject("client", "S", "e", i, 100, key=0)
+    h.env.run()
+    received = sorted(p for (_, _, p) in h.handler("S:0").received)
+    assert received == list(range(20))
+
+
+def test_halt_waits_for_busy_workers_and_drops_late_events():
+    h = Harness(hosts=1, cores=2)
+    h.runtime.add_operator("M", 1, lambda i: Recorder(cost_s=2.0), parallelism=2)
+    h.runtime.deploy_operator("M", h.hosts)
+    h.runtime.inject("client", "M", "e", "busy", 100, key=0)
+    results = {}
+
+    def coordinator():
+        yield h.env.timeout(1.0)
+        instance = h.runtime.slices["M:0"].active
+        quiescent = instance.halt()
+        yield quiescent
+        results["halted_at"] = h.env.now
+        # A late event must be dropped, not processed.
+        h.runtime.inject("client", "M", "e", "late", 100, key=0)
+
+    h.env.process(coordinator())
+    h.env.run()
+    assert results["halted_at"] >= 2.0
+    payloads = [p for (_, _, p) in h.handler("M:0").received]
+    assert payloads == ["busy"]
+
+
+def test_wait_until_processed_fires_on_progress():
+    h = Harness(hosts=1)
+    h.runtime.add_operator("M", 1, lambda i: Recorder(cost_s=0.5), parallelism=1)
+    h.runtime.deploy_operator("M", h.hosts)
+    for value in range(3):
+        h.runtime.inject("client", "M", "e", value, 100, key=0)
+    fired = {}
+
+    def waiter():
+        instance = h.runtime.slices["M:0"].active
+        yield instance.wait_until_processed({"client": 2})
+        fired["at"] = h.env.now
+
+    h.env.process(waiter())
+    h.env.run()
+    assert fired["at"] == pytest.approx(1.5, abs=0.05)
+
+
+def test_wait_until_processed_already_satisfied():
+    h = Harness(hosts=1)
+    h.runtime.add_operator("M", 1, lambda i: Recorder())
+    h.runtime.deploy_operator("M", h.hosts)
+    h.runtime.inject("client", "M", "e", 0, 100, key=0)
+    h.env.run()
+    instance = h.runtime.slices["M:0"].active
+    event = instance.wait_until_processed({"client": 0})
+    assert event.triggered
+
+
+def test_buffering_instance_queues_without_processing():
+    from repro.engine.instance import SliceInstance
+
+    h = Harness(hosts=1)
+    h.runtime.add_operator("M", 1, lambda i: Recorder())
+    h.runtime.deploy_operator("M", h.hosts)
+    recorder = Recorder()
+    buffering = SliceInstance(
+        h.runtime, "M:0", recorder, h.hosts[0], parallelism=2, buffering=True
+    )
+    from repro.engine import StreamEvent
+
+    for seq in range(3):
+        buffering.deliver(StreamEvent("e", seq, "client", seq, 100, 0.0))
+    h.env.run()
+    assert buffering.queue_length == 3
+    assert recorder.received == []
+    # Activation with a vector filters already-processed events.
+    buffering.activate({"client": 0})
+    h.env.run()
+    assert [p for (_, _, p) in recorder.received] == [1, 2]
+    assert buffering.dropped_duplicates == 1
+
+
+def test_destroyed_instance_drops_deliveries():
+    h = Harness(hosts=1)
+    h.runtime.add_operator("M", 1, lambda i: Recorder())
+    h.runtime.deploy_operator("M", h.hosts)
+    instance = h.runtime.slices["M:0"].active
+    instance.destroy()
+    h.runtime.inject("client", "M", "e", "x", 100, key=0)
+    h.env.run()
+    assert h.handler("M:0").received == []
+    assert instance.queue_length == 0
+
+
+def test_invalid_parallelism_rejected():
+    h = Harness(hosts=1)
+    h.runtime.add_operator("M", 1, lambda i: Recorder(), parallelism=0)
+    with pytest.raises(ValueError):
+        h.runtime.deploy_operator("M", h.hosts)
+
+
+def test_default_import_state_rejects_unexpected_state():
+    handler = Recorder()
+    handler.import_state(None)  # stateless: fine
+    with pytest.raises(NotImplementedError):
+        handler.import_state({"unexpected": 1})

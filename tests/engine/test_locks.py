@@ -1,0 +1,125 @@
+"""Unit tests for the slice RW lock."""
+
+import pytest
+
+from repro.engine import RWLock
+from repro.sim import Environment
+
+
+def test_fast_path_readers_share():
+    env = Environment()
+    lock = RWLock(env)
+    assert lock.try_acquire("R")
+    assert lock.try_acquire("R")
+    lock.release("R")
+    lock.release("R")
+    assert lock.idle
+
+
+def test_fast_path_writer_excludes():
+    env = Environment()
+    lock = RWLock(env)
+    assert lock.try_acquire("W")
+    assert not lock.try_acquire("R")
+    assert not lock.try_acquire("W")
+    lock.release("W")
+    assert lock.try_acquire("R")
+
+
+def test_writer_waits_for_readers():
+    env = Environment()
+    lock = RWLock(env)
+    log = []
+
+    def reader():
+        assert lock.try_acquire("R")
+        yield env.timeout(5.0)
+        lock.release("R")
+
+    def writer():
+        yield env.timeout(1.0)
+        if not lock.try_acquire("W"):
+            yield lock.acquire("W")
+        log.append(("w", env.now))
+        lock.release("W")
+
+    env.process(reader())
+    env.process(writer())
+    env.run()
+    assert log == [("w", 5.0)]
+
+
+def test_pending_writer_blocks_new_readers():
+    env = Environment()
+    lock = RWLock(env)
+    log = []
+
+    def holder():
+        assert lock.try_acquire("R")
+        yield env.timeout(5.0)
+        lock.release("R")
+
+    def writer():
+        yield env.timeout(1.0)
+        yield lock.acquire("W")
+        log.append(("w", env.now))
+        yield env.timeout(1.0)
+        lock.release("W")
+
+    def late_reader():
+        yield env.timeout(2.0)
+        # Fast path must fail while a writer is queued (fairness).
+        assert not lock.try_acquire("R")
+        yield lock.acquire("R")
+        log.append(("r", env.now))
+        lock.release("R")
+
+    env.process(holder())
+    env.process(writer())
+    env.process(late_reader())
+    env.run()
+    assert log == [("w", 5.0), ("r", 6.0)]
+
+
+def test_readers_granted_in_batch_after_writer():
+    env = Environment()
+    lock = RWLock(env)
+    granted = []
+
+    def writer():
+        assert lock.try_acquire("W")
+        yield env.timeout(3.0)
+        lock.release("W")
+
+    def reader(name):
+        yield env.timeout(1.0)
+        yield lock.acquire("R")
+        granted.append((name, env.now))
+        yield env.timeout(2.0)
+        lock.release("R")
+
+    env.process(writer())
+    env.process(reader("r1"))
+    env.process(reader("r2"))
+    env.run()
+    assert granted == [("r1", 3.0), ("r2", 3.0)]
+
+
+def test_release_unheld_raises():
+    env = Environment()
+    lock = RWLock(env)
+    with pytest.raises(RuntimeError):
+        lock.release("R")
+    with pytest.raises(RuntimeError):
+        lock.release("W")
+
+
+def test_unknown_mode_rejected():
+    env = Environment()
+    lock = RWLock(env)
+    with pytest.raises(ValueError):
+        lock.try_acquire("X")
+    with pytest.raises(ValueError):
+        lock.acquire("X")
+    with pytest.raises(ValueError):
+        lock.release("X")

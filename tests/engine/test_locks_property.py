@@ -1,0 +1,52 @@
+"""Property test: the RW lock never violates mutual exclusion."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import RWLock
+from repro.sim import Environment
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["R", "W"]),
+            st.integers(0, 5),   # arrival offset (ms)
+            st.integers(1, 10),  # hold time (ms)
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_rwlock_invariants_under_random_schedules(ops):
+    env = Environment()
+    lock = RWLock(env)
+    state = {"readers": 0, "writers": 0}
+    violations = []
+
+    def user(mode, offset, hold):
+        yield env.timeout(offset / 1000.0)
+        if not lock.try_acquire(mode):
+            yield lock.acquire(mode)
+        if mode == "R":
+            state["readers"] += 1
+        else:
+            state["writers"] += 1
+        # Invariants: at most one writer; never readers and a writer.
+        if state["writers"] > 1:
+            violations.append("two writers")
+        if state["writers"] >= 1 and state["readers"] >= 1:
+            violations.append("reader with writer")
+        yield env.timeout(hold / 1000.0)
+        if mode == "R":
+            state["readers"] -= 1
+        else:
+            state["writers"] -= 1
+        lock.release(mode)
+
+    for mode, offset, hold in ops:
+        env.process(user(mode, offset, hold))
+    env.run()
+    assert violations == []
+    assert lock.idle

@@ -1,0 +1,203 @@
+"""Tests for live slice migration: correctness and cost shape."""
+
+import pytest
+
+from repro.engine import MigrationCosts, MigrationError
+from .helpers import Harness, Recorder, CountingState, Forwarder
+
+FAST = MigrationCosts(pre_s=0.01, post_s=0.01, serialize_s_per_byte=0, deserialize_s_per_byte=0)
+
+
+def run_migration(h, slice_id, dest):
+    proc = h.runtime.migrate(slice_id, dest)
+    h.env.run()
+    assert proc.ok
+    return proc.value
+
+
+def test_stateless_migration_moves_placement():
+    h = Harness(hosts=2, migration_costs=FAST)
+    h.runtime.add_operator("A", 1, lambda i: Recorder())
+    h.runtime.deploy_operator("A", [h.hosts[0]])
+    report = run_migration(h, "A:0", h.hosts[1])
+    assert h.runtime.placement()["A:0"] == h.hosts[1].host_id
+    assert report.source_host == h.hosts[0].host_id
+    assert report.destination_host == h.hosts[1].host_id
+    assert report.state_bytes == 0
+    assert report.duration_s == pytest.approx(0.02, abs=1e-6)
+    assert h.runtime.migrations_completed == 1
+
+
+def test_stateful_migration_transfers_state():
+    h = Harness(hosts=2, migration_costs=FAST)
+    h.runtime.add_operator("S", 1, lambda i: CountingState(bytes_per_entry=1000))
+    h.runtime.deploy_operator("S", [h.hosts[0]])
+    for i in range(10):
+        h.runtime.inject("client", "S", "add", (i, i * i), 100, key=0)
+    h.env.run()
+    old_handler = h.handler("S:0")
+    report = run_migration(h, "S:0", h.hosts[1])
+    new_handler = h.handler("S:0")
+    assert new_handler is not old_handler
+    assert new_handler.values == {i: i * i for i in range(10)}
+    assert report.state_bytes == 10 * 1000
+
+
+def test_events_during_migration_processed_exactly_once():
+    h = Harness(hosts=2, cores=8, migration_costs=MigrationCosts(
+        pre_s=0.05, post_s=0.05, serialize_s_per_byte=1e-8, deserialize_s_per_byte=1e-8
+    ))
+    h.runtime.add_operator("A", 1, lambda i: Forwarder("B", cost_s=0.002), parallelism=2)
+    h.runtime.add_operator("B", 1, lambda i: Recorder(), parallelism=2)
+    h.runtime.deploy_operator("A", [h.hosts[0]])
+    h.runtime.deploy_operator("B", [h.hosts[0]])
+    total = 200
+
+    def feeder():
+        for value in range(total):
+            h.runtime.inject("client", "A", "e", value, 100, key=0)
+            yield h.env.timeout(0.003)
+
+    def migrator():
+        yield h.env.timeout(0.15)
+        yield h.runtime.migrate("A:0", h.hosts[1])
+
+    h.env.process(feeder())
+    h.env.process(migrator())
+    h.env.run()
+    received = [p for (_, _, p) in h.handler("B:0").received]
+    assert sorted(received) == list(range(total))
+    assert len(received) == total  # no duplicates
+    assert h.runtime.placement()["A:0"] == h.hosts[1].host_id
+
+
+def test_stateful_migration_under_flow_loses_nothing():
+    h = Harness(hosts=2, cores=8, migration_costs=MigrationCosts(
+        pre_s=0.05, post_s=0.05, serialize_s_per_byte=1e-9, deserialize_s_per_byte=1e-9
+    ))
+    h.runtime.add_operator(
+        "S", 1, lambda i: CountingState(bytes_per_entry=500, cost_s=0.001)
+    )
+    h.runtime.deploy_operator("S", [h.hosts[0]])
+    total = 300
+
+    def feeder():
+        for i in range(total):
+            h.runtime.inject("client", "S", "add", (i, i), 100, key=0)
+            yield h.env.timeout(0.002)
+
+    def migrator():
+        yield h.env.timeout(0.2)
+        yield h.runtime.migrate("S:0", h.hosts[1])
+
+    h.env.process(feeder())
+    h.env.process(migrator())
+    h.env.run()
+    assert h.handler("S:0").values == {i: i for i in range(total)}
+
+
+def test_migration_time_grows_with_state_size():
+    costs = MigrationCosts(pre_s=0.11, post_s=0.11,
+                           serialize_s_per_byte=4.9e-9, deserialize_s_per_byte=4.9e-9)
+
+    def measure(entries):
+        h = Harness(hosts=2, migration_costs=costs)
+        h.runtime.add_operator("S", 1, lambda i: CountingState(bytes_per_entry=4096))
+        h.runtime.deploy_operator("S", [h.hosts[0]])
+        for i in range(entries):
+            h.runtime.inject("client", "S", "add", (i, i), 100, key=0)
+        h.env.run()
+        return run_migration(h, "S:0", h.hosts[1]).duration_s
+
+    small = measure(0)
+    medium = measure(500)
+    large = measure(2000)
+    assert small < medium < large
+    assert small == pytest.approx(0.22, abs=0.01)  # stateless ≈ overhead only
+
+
+def test_migration_interruption_shorter_than_total():
+    h = Harness(hosts=2)
+    h.runtime.add_operator("S", 1, lambda i: CountingState(bytes_per_entry=4096))
+    h.runtime.deploy_operator("S", [h.hosts[0]])
+    for i in range(100):
+        h.runtime.inject("client", "S", "add", (i, i), 100, key=0)
+    h.env.run()
+    report = run_migration(h, "S:0", h.hosts[1])
+    assert 0 < report.interruption_s < report.duration_s
+
+
+def test_migrate_to_same_host_rejected():
+    h = Harness(hosts=1)
+    h.runtime.add_operator("A", 1, lambda i: Recorder())
+    h.runtime.deploy_operator("A", h.hosts)
+    proc = h.runtime.migrate("A:0", h.hosts[0])
+    with pytest.raises(MigrationError):
+        h.env.run()
+    assert not proc.ok
+
+
+def test_migrate_unknown_slice_rejected():
+    h = Harness(hosts=2)
+    h.runtime.migrate("nope:0", h.hosts[1])
+    with pytest.raises(MigrationError):
+        h.env.run()
+
+
+def test_migrate_undeployed_slice_rejected():
+    h = Harness(hosts=2)
+    h.runtime.add_operator("A", 1, lambda i: Recorder())
+    h.runtime.migrate("A:0", h.hosts[1])
+    with pytest.raises(MigrationError):
+        h.env.run()
+
+
+def test_concurrent_migration_of_same_slice_rejected():
+    h = Harness(hosts=3)
+    h.runtime.add_operator(
+        "S", 1, lambda i: CountingState(bytes_per_entry=4096)
+    )
+    h.runtime.deploy_operator("S", [h.hosts[0]])
+    for i in range(1000):
+        h.runtime.inject("client", "S", "add", (i, i), 100, key=0)
+    h.env.run()
+    h.runtime.migrate("S:0", h.hosts[1])
+    failures = []
+
+    def second():
+        yield h.env.timeout(0.15)  # first migration still in progress
+        try:
+            yield h.runtime.migrate("S:0", h.hosts[2])
+        except MigrationError as exc:
+            failures.append(str(exc))
+
+    h.env.process(second())
+    h.env.run()
+    assert failures and "already migrating" in failures[0]
+
+
+def test_migration_to_released_host_rejected():
+    h = Harness(hosts=2)
+    h.runtime.add_operator("A", 1, lambda i: Recorder())
+    h.runtime.deploy_operator("A", [h.hosts[0]])
+    h.cloud.release(h.hosts[1])
+    h.runtime.migrate("A:0", h.hosts[1])
+    with pytest.raises(MigrationError):
+        h.env.run()
+
+
+def test_sequence_counters_survive_migration():
+    """Downstream consumers keep a continuous sequence stream."""
+    h = Harness(hosts=2, migration_costs=FAST)
+    h.runtime.add_operator("A", 1, lambda i: Forwarder("B"))
+    h.runtime.add_operator("B", 1, lambda i: Recorder())
+    h.runtime.deploy_operator("A", [h.hosts[0]])
+    h.runtime.deploy_operator("B", [h.hosts[1]])
+    h.runtime.inject("client", "A", "e", 1, 100, key=0)
+    h.env.run()
+    run_migration(h, "A:0", h.hosts[1])
+    h.runtime.inject("client", "A", "e", 2, 100, key=0)
+    h.env.run()
+    assert h.runtime.sent_cutoffs("B:0") == {"A:0": 1}
+    instance = h.runtime.slices["B:0"].active
+    assert instance.last_processed["A:0"] == 1

@@ -1,0 +1,143 @@
+"""Unit tests for operator declaration, deployment and routing."""
+
+import pytest
+
+from repro.engine import BROADCAST
+from .helpers import Harness, Recorder, Forwarder
+
+
+def test_add_operator_creates_logical_slices():
+    h = Harness()
+    h.runtime.add_operator("M", 4, lambda i: Recorder())
+    assert h.runtime.slice_count("M") == 4
+    assert h.runtime.slice_ids("M") == ["M:0", "M:1", "M:2", "M:3"]
+
+
+def test_duplicate_operator_rejected():
+    h = Harness()
+    h.runtime.add_operator("M", 1, lambda i: Recorder())
+    with pytest.raises(ValueError):
+        h.runtime.add_operator("M", 2, lambda i: Recorder())
+
+
+def test_invalid_slice_count_rejected():
+    h = Harness()
+    with pytest.raises(ValueError):
+        h.runtime.add_operator("X", 0, lambda i: Recorder())
+
+
+def test_deploy_operator_round_robin():
+    h = Harness(hosts=2)
+    h.runtime.add_operator("M", 4, lambda i: Recorder())
+    h.runtime.deploy_operator("M", h.hosts)
+    placement = h.runtime.placement()
+    assert placement["M:0"] == h.hosts[0].host_id
+    assert placement["M:1"] == h.hosts[1].host_id
+    assert placement["M:2"] == h.hosts[0].host_id
+    assert placement["M:3"] == h.hosts[1].host_id
+
+
+def test_double_deploy_rejected():
+    h = Harness()
+    h.runtime.add_operator("M", 1, lambda i: Recorder())
+    h.runtime.deploy("M:0", h.hosts[0])
+    with pytest.raises(RuntimeError):
+        h.runtime.deploy("M:0", h.hosts[1])
+
+
+def test_route_by_key_uses_modulo_hashing():
+    h = Harness()
+    h.runtime.add_operator("M", 4, lambda i: Recorder())
+    h.runtime.deploy_operator("M", h.hosts)
+    for key in range(8):
+        h.runtime.inject("client", "M", "e", key, 100, key=key)
+    h.env.run()
+    for index in range(4):
+        handler = h.handler(f"M:{index}")
+        assert [p for (_, _, p) in handler.received] == [index, index + 4]
+
+
+def test_route_broadcast_reaches_all_slices():
+    h = Harness()
+    h.runtime.add_operator("M", 3, lambda i: Recorder())
+    h.runtime.deploy_operator("M", h.hosts)
+    h.runtime.inject("client", "M", "e", "hello", 100, key=BROADCAST)
+    h.env.run()
+    for index in range(3):
+        assert [p for (_, _, p) in h.handler(f"M:{index}").received] == ["hello"]
+
+
+def test_sequence_numbers_increase_per_channel():
+    h = Harness()
+    h.runtime.add_operator("M", 2, lambda i: Recorder())
+    h.runtime.deploy_operator("M", h.hosts)
+    for _ in range(3):
+        h.runtime.inject("clientA", "M", "e", "x", 100, key=0)
+    h.runtime.inject("clientB", "M", "e", "y", 100, key=0)
+    h.env.run()
+    assert h.runtime.sent_cutoffs("M:0") == {"clientA": 2, "clientB": 0}
+    assert h.runtime.sent_cutoffs("M:1") == {}
+
+
+def test_slice_to_slice_forwarding():
+    h = Harness()
+    h.runtime.add_operator("A", 1, lambda i: Forwarder("B"))
+    h.runtime.add_operator("B", 2, lambda i: Recorder())
+    h.runtime.deploy_operator("A", [h.hosts[0]])
+    h.runtime.deploy_operator("B", [h.hosts[1]])
+    for value in range(6):
+        h.runtime.inject("client", "A", "e", value, 100, key=0)
+    h.env.run()
+    received = []
+    for index in range(2):
+        received += [p for (_, _, p) in h.handler(f"B:{index}").received]
+    assert sorted(received) == list(range(6))
+
+
+def test_route_to_unknown_operator_raises():
+    h = Harness()
+    with pytest.raises(KeyError):
+        h.runtime.inject("client", "nope", "e", 1, 100, key=0)
+
+
+def test_route_to_undeployed_slice_raises():
+    h = Harness()
+    h.runtime.add_operator("M", 1, lambda i: Recorder())
+    with pytest.raises(RuntimeError):
+        h.runtime.inject("client", "M", "e", 1, 100, key=0)
+
+
+def test_events_processed_in_fifo_order_single_worker():
+    h = Harness()
+    h.runtime.add_operator("M", 1, lambda i: Recorder(cost_s=0.010), parallelism=1)
+    h.runtime.deploy_operator("M", h.hosts)
+    for value in range(5):
+        h.runtime.inject("client", "M", "e", value, 100, key=0)
+    h.env.run()
+    assert [p for (_, _, p) in h.handler("M:0").received] == [0, 1, 2, 3, 4]
+
+
+def test_slice_stats_reports_state_and_queue():
+    h = Harness()
+    h.runtime.add_operator("M", 1, lambda i: Recorder())
+    h.runtime.deploy_operator("M", h.hosts)
+    h.runtime.inject("client", "M", "e", 1, 100, key=0)
+    h.env.run()
+    stats = h.runtime.slice_stats("M:0")
+    assert stats["processed"] == 1
+    assert stats["queue_length"] == 0
+    assert stats["migrating"] is False
+    assert stats["host"] == h.hosts[0].host_id
+
+
+def test_handler_cost_charged_on_host_cpu():
+    h = Harness(hosts=1, cores=2)
+    h.runtime.add_operator("M", 1, lambda i: Recorder(cost_s=0.5))
+    h.runtime.deploy_operator("M", h.hosts)
+    before = h.hosts[0].cpu.snapshot()
+    for _ in range(4):
+        h.runtime.inject("client", "M", "e", 1, 100, key=0)
+    h.env.run()
+    assert h.hosts[0].cpu.busy_core_seconds() == 2.0
+    usage = h.hosts[0].cpu.tag_core_usage_between(before)
+    assert "M:0" in usage

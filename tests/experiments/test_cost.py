@@ -1,0 +1,55 @@
+"""Tests for the cost-effectiveness comparison."""
+
+import pytest
+
+from repro.experiments import CostComparison, host_seconds
+from repro.experiments.elastic import ElasticRunResult
+
+
+def make_result(host_series, duration):
+    return ElasticRunResult(
+        duration_s=duration,
+        window_s=30.0,
+        rate_series=[],
+        host_series=host_series,
+        utilization_series=[],
+        delay_windows=[],
+        migration_reports=[],
+        decisions=[],
+        published=0,
+        notified=0,
+    )
+
+
+class TestHostSeconds:
+    def test_piecewise_constant_integration(self):
+        # 1 host for 10 s, 3 hosts for 20 s, 2 hosts for the final 10 s.
+        result = make_result([(10.0, 1), (30.0, 3), (40.0, 2)], duration=50.0)
+        # [0,10): count of the first probe (1), [10,30): 1, [30,40): 3,
+        # [40,50): 2 — by the piecewise-constant rule anchored on probes.
+        assert host_seconds(result) == pytest.approx(
+            1 * 10 + 1 * 20 + 3 * 10 + 2 * 10
+        )
+
+    def test_empty_series(self):
+        assert host_seconds(make_result([], duration=100.0)) == 0.0
+
+    def test_constant_fleet(self):
+        result = make_result([(10.0, 4), (20.0, 4)], duration=30.0)
+        assert host_seconds(result) == pytest.approx(4 * 30)
+
+
+class TestCostComparison:
+    def test_savings_computation(self):
+        comparison = CostComparison(
+            duration_s=100.0,
+            elastic_host_seconds=300.0,
+            peak_hosts=8,
+            average_hosts=3.0,
+        )
+        assert comparison.static_peak_host_seconds == 800.0
+        assert comparison.savings_vs_static_peak == pytest.approx(1 - 300 / 800)
+
+    def test_zero_duration(self):
+        comparison = CostComparison(0.0, 0.0, 0, 0.0)
+        assert comparison.savings_vs_static_peak == 0.0

@@ -1,0 +1,130 @@
+"""Scaled-down smoke tests of every experiment driver.
+
+The benchmarks run each experiment at (near-)paper scale; these tests run
+tiny versions to verify the drivers end-to-end quickly.
+"""
+
+import pytest
+
+from repro.elastic import ElasticityPolicy
+from repro.experiments import (
+    ExperimentSetup,
+    estimate_capacity,
+    is_rate_sustainable,
+    max_throughput,
+    measure_delays,
+    run_elastic,
+    run_figure7,
+    run_table1,
+)
+from repro.experiments.migration import migration_setup
+from repro.workloads import trapezoid
+
+
+def tiny_setup(**kwargs):
+    """Small slice counts + a deliberately heavy per-operation cost so a
+    handful of publications per second saturates a host (fast tests that
+    still exercise saturation and scaling)."""
+    from repro.filtering import CostModel
+
+    defaults = dict(
+        subscriptions=2000,
+        ap_slices=2,
+        m_slices=4,
+        ep_slices=2,
+        sink_slices=1,
+        max_hosts=16,
+        cost_model=CostModel(aspe_match_op_s=50e-6),
+    )
+    defaults.update(kwargs)
+    return ExperimentSetup(**defaults)
+
+
+class TestBaseline:
+    def test_estimate_capacity_scales_with_hosts(self):
+        setup = ExperimentSetup()
+        assert estimate_capacity(12, setup) == pytest.approx(
+            6 * estimate_capacity(2, setup), rel=0.01
+        )
+
+    def test_sustainable_below_capacity_unsustainable_above(self):
+        setup = tiny_setup()
+        capacity = estimate_capacity(2, setup)
+        assert is_rate_sustainable(0.6 * capacity, setup, 2, window_s=8.0)
+        assert not is_rate_sustainable(1.6 * capacity, setup, 2, window_s=8.0)
+
+    def test_max_throughput_brackets_analytic_estimate(self):
+        setup = tiny_setup()
+        measured = max_throughput(2, setup, iterations=4, window_s=8.0)
+        estimate = estimate_capacity(2, setup)
+        assert 0.6 * estimate < measured < 1.4 * estimate
+
+    def test_measure_delays_returns_stats_and_stack(self):
+        setup = tiny_setup()
+        stats, stack = measure_delays(2, rate=30.0, setup=setup, duration_s=10.0)
+        assert stats.count > 100
+        assert stats.minimum > 0
+        fractions = [f for f, _ in stack]
+        assert fractions == sorted(fractions)
+
+
+class TestMigrationExperiments:
+    def test_run_table1_tiny(self):
+        rows = run_table1(
+            migrations_per_operator=3,
+            subscriptions_per_m_slice=(500,),
+            settle_s=1.0,
+        )
+        assert [r.operator for r in rows] == ["AP", "M (0.5 K)", "EP"]
+        for row in rows:
+            assert len(row.samples_ms) == 3
+            assert row.average_ms > 100.0
+
+    def test_migration_setup_matches_paper(self):
+        setup = migration_setup()
+        assert (setup.ap_slices, setup.m_slices, setup.ep_slices) == (4, 8, 4)
+
+    def test_run_figure7_tiny(self):
+        result = run_figure7(rate_per_s=40.0, subscriptions=4000, window_s=5.0)
+        assert len(result.migration_marks) == 5
+        assert result.steady_state_mean_s > 0
+        assert result.peak_delay_s >= result.steady_state_mean_s
+
+
+class TestElasticExperiments:
+    def test_run_elastic_scales_out_and_in(self):
+        # One host saturates near 40 pub/s under the heavy cost model.
+        setup = tiny_setup()
+        policy = ElasticityPolicy(grace_period_s=10.0)
+        profile = trapezoid(ramp_up_s=40.0, plateau_s=60.0, ramp_down_s=40.0,
+                            peak=70.0)
+        result = run_elastic(
+            profile, 180.0, setup=setup, policy=policy,
+            probe_interval_s=2.0, window_s=10.0, drain_s=60.0,
+        )
+        assert result.max_hosts >= 2
+        assert result.final_hosts == 1
+        assert result.published == result.notified > 0
+        assert result.rate_series[0][1] == 0.0
+        assert len(result.delay_windows) > 0
+        assert result.migration_reports
+
+    def test_utilization_envelope_filters_single_host_windows(self):
+        setup = tiny_setup()
+        profile = trapezoid(ramp_up_s=30.0, plateau_s=30.0, ramp_down_s=30.0,
+                            peak=60.0)
+        result = run_elastic(
+            profile, 120.0, setup=setup,
+            policy=ElasticityPolicy(grace_period_s=10.0),
+            probe_interval_s=2.0,
+        )
+        lo, avg, hi = result.utilization_envelope()
+        assert 0.0 <= lo <= avg <= hi <= 1.0
+
+    def test_invalid_time_scales_rejected(self):
+        from repro.experiments import run_figure8, run_figure9
+
+        with pytest.raises(ValueError):
+            run_figure8(time_scale=0.0)
+        with pytest.raises(ValueError):
+            run_figure9(time_scale=-1.0)

@@ -1,0 +1,128 @@
+"""Tests for the split-dimension ASPE variant."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.filtering import (
+    AspeLibrary,
+    AspeSplitCipher,
+    AspeSplitKey,
+    Op,
+    Predicate,
+    PredicateSet,
+    match_encrypted,
+)
+
+
+@pytest.fixture
+def cipher():
+    key = AspeSplitKey.generate(dimensions=4, rng=random.Random(21))
+    return AspeSplitCipher(key, rng=random.Random(22))
+
+
+def band(attribute, low, high):
+    return PredicateSet.of(
+        Predicate(attribute, Op.GE, low), Predicate(attribute, Op.LE, high)
+    )
+
+
+def test_key_shapes_and_split_bits():
+    key = AspeSplitKey.generate(dimensions=4, rng=random.Random(1))
+    assert key.matrix_a.shape == (7, 7)
+    assert key.matrix_b.shape == (7, 7)
+    assert len(key.split_bits) == 7
+    assert all(bit in (0, 1) for bit in key.split_bits)
+    assert key.cipher_dimensions == 14
+    assert np.allclose(key.matrix_a @ key.inverse_a, np.eye(7), atol=1e-9)
+    with pytest.raises(ValueError):
+        AspeSplitKey.generate(dimensions=0)
+
+
+def test_ciphertexts_are_concatenated_halves(cipher):
+    enc = cipher.encrypt_publication([1.0, 2.0, 3.0, 4.0])
+    assert enc.vector.shape == (14,)
+    sub = cipher.encrypt_subscription(band(0, 0.0, 10.0))
+    assert all(p.vector.shape == (14,) for p in sub.predicates)
+
+
+def test_match_agrees_with_plaintext(cipher):
+    rng = random.Random(5)
+    for _ in range(200):
+        attribute = rng.randrange(4)
+        op = rng.choice([Op.LT, Op.LE, Op.GT, Op.GE])
+        constant = rng.uniform(0.0, 1000.0)
+        sub = PredicateSet.of(Predicate(attribute, op, constant))
+        enc_sub = cipher.encrypt_subscription(sub)
+        attrs = [rng.uniform(0.0, 1000.0) for _ in range(4)]
+        enc_pub = cipher.encrypt_publication(attrs)
+        assert match_encrypted(enc_pub, enc_sub) == sub.matches(attrs)
+
+
+def test_conjunctions_and_equality(cipher):
+    sub = PredicateSet.of(
+        Predicate(0, Op.GE, 10.0), Predicate(1, Op.EQ, 5.0)
+    )
+    enc_sub = cipher.encrypt_subscription(sub)
+    assert len(enc_sub.predicates) == 3  # GE + (GE, LE) for the equality
+    assert match_encrypted(cipher.encrypt_publication([10.0, 5.0, 0.0, 0.0]), enc_sub)
+    assert not match_encrypted(cipher.encrypt_publication([10.0, 5.1, 0.0, 0.0]), enc_sub)
+
+
+def test_works_with_aspe_library(cipher):
+    library = AspeLibrary()
+    library.store(1, cipher.encrypt_subscription(band(0, 100.0, 200.0)))
+    library.store(2, cipher.encrypt_subscription(band(1, 0.0, 50.0)))
+    enc = cipher.encrypt_publication([150.0, 25.0, 0.0, 0.0])
+    assert sorted(library.match(enc)) == [1, 2]
+    enc = cipher.encrypt_publication([250.0, 25.0, 0.0, 0.0])
+    assert library.match(enc) == [2]
+
+
+def test_split_randomizes_repeated_encryptions(cipher):
+    a = cipher.encrypt_publication([1.0, 2.0, 3.0, 4.0]).vector
+    b = cipher.encrypt_publication([1.0, 2.0, 3.0, 4.0]).vector
+    assert not np.allclose(a, b)
+
+
+def test_halves_are_not_individually_meaningful(cipher):
+    """A single half's inner product does not decide the comparison —
+    only the sum over both halves does (the split hides the linear
+    structure a known-plaintext attacker would exploit)."""
+    sub = cipher.encrypt_subscription(PredicateSet.of(Predicate(0, Op.GT, 500.0)))
+    predicate = sub.predicates[0]
+    mismatches = 0
+    rng = random.Random(9)
+    for _ in range(50):
+        value = rng.uniform(0.0, 1000.0)
+        enc = cipher.encrypt_publication([value, 0.0, 0.0, 0.0])
+        half_product = float(enc.vector[:7] @ predicate.vector[:7])
+        true_decision = value > 500.0
+        if (half_product > 0) != true_decision:
+            mismatches += 1
+    assert mismatches > 5  # half-products are essentially uninformative
+
+
+def test_different_split_keys_do_not_interoperate():
+    cipher_a = AspeSplitCipher(
+        AspeSplitKey.generate(4, rng=random.Random(1)), rng=random.Random(2)
+    )
+    cipher_b = AspeSplitCipher(
+        AspeSplitKey.generate(4, rng=random.Random(3)), rng=random.Random(4)
+    )
+    sub = band(0, 0.0, 1000.0)  # matches everything under the right key
+    enc_sub = cipher_b.encrypt_subscription(sub)
+    mismatches = 0
+    for i in range(20):
+        attrs = [float(i * 50), 0.0, 0.0, 0.0]
+        if match_encrypted(cipher_a.encrypt_publication(attrs), enc_sub) != sub.matches(attrs):
+            mismatches += 1
+    assert mismatches > 0
+
+
+def test_wrong_dimension_rejected(cipher):
+    with pytest.raises(ValueError):
+        cipher.encrypt_publication([1.0])
+    with pytest.raises(ValueError):
+        cipher.encrypt_predicate(Predicate(7, Op.LT, 1.0))

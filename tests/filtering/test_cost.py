@@ -1,0 +1,54 @@
+"""Tests for the calibrated cost model."""
+
+import pytest
+
+from repro.filtering import CostModel
+
+
+def test_match_cost_scales_linearly_with_subscriptions():
+    model = CostModel()
+    base = model.match_cost_s(0)
+    cost_10k = model.match_cost_s(10_000)
+    cost_20k = model.match_cost_s(20_000)
+    assert cost_20k - base == pytest.approx(2 * (cost_10k - base))
+
+
+def test_match_cost_quadratic_in_attributes():
+    d4 = CostModel(attributes=4).match_cost_s(1000) - CostModel(attributes=4).m_base_s
+    d8 = CostModel(attributes=8).match_cost_s(1000) - CostModel(attributes=8).m_base_s
+    assert d8 == pytest.approx(4 * d4)
+
+
+def test_calibration_reproduces_figure6_capacity():
+    """48 matching cores at 1.14 µs/op sustain ≈ 422 pub/s with 100 K subs."""
+    model = CostModel()
+    cores = 48
+    subs_per_slice = 100_000 / 16
+    slices = 16
+    cost_per_pub = slices * model.match_cost_s(int(subs_per_slice))
+    max_rate = cores / cost_per_pub
+    assert 380 < max_rate < 470
+
+
+def test_plain_matching_is_cheaper_than_encrypted():
+    model = CostModel()
+    assert model.match_cost_s(1000, encrypted=False) < model.match_cost_s(1000)
+
+
+def test_state_and_message_sizes():
+    model = CostModel()
+    assert model.m_state_bytes(0) == model.slice_base_bytes
+    assert (
+        model.m_state_bytes(100) - model.m_state_bytes(0)
+        == 100 * model.subscription_bytes
+    )
+    assert model.match_list_bytes(0) == model.frame_bytes
+    assert model.match_list_bytes(10) == model.frame_bytes + 10 * model.match_entry_bytes
+
+
+def test_migration_serialization_cost():
+    model = CostModel()
+    assert model.migration_serialize_s(0) == 0.0
+    assert model.migration_serialize_s(50_000) == pytest.approx(
+        50_000 * model.migration_serialize_sub_s
+    )

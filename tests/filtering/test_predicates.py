@@ -1,0 +1,69 @@
+"""Unit tests for the plaintext predicate model."""
+
+import pytest
+
+from repro.filtering import Op, Predicate, PredicateSet
+
+
+@pytest.mark.parametrize(
+    "op,value,constant,expected",
+    [
+        (Op.LT, 1.0, 2.0, True),
+        (Op.LT, 2.0, 2.0, False),
+        (Op.LE, 2.0, 2.0, True),
+        (Op.LE, 2.1, 2.0, False),
+        (Op.GT, 3.0, 2.0, True),
+        (Op.GT, 2.0, 2.0, False),
+        (Op.GE, 2.0, 2.0, True),
+        (Op.GE, 1.9, 2.0, False),
+        (Op.EQ, 5.0, 5.0, True),
+        (Op.EQ, 5.0, 5.1, False),
+    ],
+)
+def test_operator_semantics(op, value, constant, expected):
+    assert op.evaluate(value, constant) is expected
+
+
+def test_predicate_matches_attribute_vector():
+    predicate = Predicate(attribute=2, op=Op.GE, constant=10.0)
+    assert predicate.matches([0.0, 0.0, 10.0, 0.0])
+    assert not predicate.matches([0.0, 0.0, 9.0, 0.0])
+
+
+def test_predicate_out_of_range_attribute():
+    predicate = Predicate(attribute=5, op=Op.LT, constant=1.0)
+    with pytest.raises(IndexError):
+        predicate.matches([1.0, 2.0])
+
+
+def test_predicate_negative_attribute_rejected():
+    with pytest.raises(ValueError):
+        Predicate(attribute=-1, op=Op.LT, constant=0.0)
+
+
+def test_predicate_set_is_conjunction():
+    ps = PredicateSet.of(
+        Predicate(0, Op.GE, 10.0),
+        Predicate(0, Op.LE, 20.0),
+        Predicate(1, Op.GT, 5.0),
+    )
+    assert ps.matches([15.0, 6.0])
+    assert not ps.matches([15.0, 5.0])
+    assert not ps.matches([25.0, 6.0])
+
+
+def test_empty_predicate_set_rejected():
+    with pytest.raises(ValueError):
+        PredicateSet(())
+
+
+def test_predicate_set_iteration_and_len():
+    preds = (Predicate(0, Op.LT, 1.0), Predicate(1, Op.GT, 2.0))
+    ps = PredicateSet(preds)
+    assert len(ps) == 2
+    assert tuple(ps) == preds
+
+
+def test_string_rendering():
+    ps = PredicateSet.of(Predicate(0, Op.GE, 10.0), Predicate(1, Op.LT, 3.5))
+    assert str(ps) == "a0 >= 10 AND a1 < 3.5"

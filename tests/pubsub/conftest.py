@@ -1,0 +1,65 @@
+"""Shared fixtures for pub/sub tests."""
+
+import random
+
+import pytest
+
+from repro.cluster import CloudProvider, HostSpec
+from repro.filtering import (
+    AspeCipher,
+    AspeKey,
+    BruteForceLibrary,
+    CostModel,
+    ExactBackend,
+)
+from repro.pubsub import HubConfig, StreamHub
+from repro.sim import Environment
+
+
+class HubHarness:
+    """Environment + cloud + a small deployed hub."""
+
+    def __init__(self, config: HubConfig, engine_hosts: int = 2):
+        self.env = Environment()
+        self.cloud = CloudProvider(self.env, spec=HostSpec(cores=8), max_hosts=30)
+        self.hosts = [self.cloud.provision_now() for _ in range(engine_hosts + 1)]
+        self.engine_hosts = self.hosts[:engine_hosts]
+        self.sink_host = self.hosts[engine_hosts]
+        self.hub = StreamHub(self.env, self.cloud.network, config)
+        self.hub.deploy_all_on(self.engine_hosts, [self.sink_host])
+
+
+def small_exact_config(**kwargs) -> HubConfig:
+    """Exact plaintext matching with small slice counts (fast tests)."""
+    defaults = dict(
+        ap_slices=2,
+        m_slices=4,
+        ep_slices=2,
+        sink_slices=1,
+        encrypted=False,
+        backend_factory=lambda index: ExactBackend(BruteForceLibrary()),
+    )
+    defaults.update(kwargs)
+    return HubConfig(**defaults)
+
+
+def small_sampled_config(rate=0.01, **kwargs) -> HubConfig:
+    defaults = dict(ap_slices=2, m_slices=4, ep_slices=2, sink_slices=1)
+    defaults.update(kwargs)
+    return HubConfig.sampled(rate, **defaults)
+
+
+@pytest.fixture
+def exact_hub():
+    return HubHarness(small_exact_config())
+
+
+@pytest.fixture
+def sampled_hub():
+    return HubHarness(small_sampled_config())
+
+
+@pytest.fixture
+def aspe_cipher():
+    key = AspeKey.generate(4, rng=random.Random(7))
+    return AspeCipher(key, rng=random.Random(8))

@@ -1,0 +1,58 @@
+"""End-to-end pipeline test with the split-dimension ASPE variant."""
+
+import random
+
+from repro.filtering import (
+    AspeLibrary,
+    AspeSplitCipher,
+    AspeSplitKey,
+    ExactBackend,
+    Op,
+    Predicate,
+    PredicateSet,
+)
+from repro.pubsub import HubConfig, Publication, Subscription
+
+from .conftest import HubHarness
+
+
+def test_split_aspe_end_to_end():
+    key = AspeSplitKey.generate(4, rng=random.Random(31))
+    cipher = AspeSplitCipher(key, rng=random.Random(32))
+    config = HubConfig(
+        ap_slices=2,
+        m_slices=2,
+        ep_slices=1,
+        sink_slices=1,
+        encrypted=True,
+        backend_factory=lambda index: ExactBackend(AspeLibrary()),
+    )
+    h = HubHarness(config)
+
+    filters = {
+        0: PredicateSet.of(Predicate(0, Op.GE, 100.0), Predicate(0, Op.LE, 200.0)),
+        1: PredicateSet.of(Predicate(1, Op.GT, 500.0)),
+        2: PredicateSet.of(Predicate(2, Op.EQ, 7.0)),
+    }
+    for sub_id, predicate_set in filters.items():
+        h.hub.subscribe(
+            Subscription(sub_id, 100 + sub_id,
+                         cipher.encrypt_subscription(predicate_set))
+        )
+    h.env.run()
+
+    publications = [
+        ([150.0, 600.0, 7.0, 0.0], {100, 101, 102}),
+        ([150.0, 100.0, 0.0, 0.0], {100}),
+        ([300.0, 100.0, 0.0, 0.0], set()),
+    ]
+    for pub_id, (attributes, _expected) in enumerate(publications):
+        h.hub.publish(
+            Publication(pub_id, payload=cipher.encrypt_publication(attributes),
+                        published_at=h.env.now)
+        )
+    h.env.run()
+
+    by_pub = {n.pub_id: set(n.subscriber_ids or ()) for n in h.hub.notification_log}
+    for pub_id, (_attributes, expected) in enumerate(publications):
+        assert by_pub[pub_id] == expected

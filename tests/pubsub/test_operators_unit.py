@@ -1,0 +1,223 @@
+"""Direct unit tests of the AP/M/EP handlers (no network, fake context)."""
+
+import pytest
+
+from repro.engine import StreamEvent
+from repro.filtering import (
+    BruteForceLibrary,
+    CostModel,
+    ExactBackend,
+    Op,
+    Predicate,
+    PredicateSet,
+    SampledBackend,
+)
+from repro.pubsub import (
+    AccessPointHandler,
+    ExitPointHandler,
+    MatcherHandler,
+    MatchList,
+    Notification,
+    NotificationSinkHandler,
+    Publication,
+    Subscription,
+    KIND_MATCH_LIST,
+    KIND_NOTIFICATION,
+    KIND_NOTIFY,
+    KIND_PUBLICATION,
+    KIND_SUBSCRIPTION,
+)
+
+
+class FakeContext:
+    """Collects emissions instead of routing them."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+        self.emitted = []
+        self.broadcasts = []
+
+    def emit(self, operator, kind, payload, size_bytes, key):
+        self.emitted.append((operator, kind, payload, size_bytes, key))
+
+    def emit_broadcast(self, operator, kind, payload, size_bytes):
+        self.broadcasts.append((operator, kind, payload, size_bytes))
+
+
+def event(kind, payload, seq=0, source="test"):
+    return StreamEvent(kind, payload, source, seq, 100, 0.0)
+
+
+def band(attribute, low, high):
+    return PredicateSet.of(
+        Predicate(attribute, Op.GE, low), Predicate(attribute, Op.LE, high)
+    )
+
+
+class TestAccessPoint:
+    def test_subscription_hashed_by_sub_id(self):
+        handler = AccessPointHandler(CostModel())
+        ctx = FakeContext()
+        sub = Subscription(42, 7, None)
+        handler.process(event(KIND_SUBSCRIPTION, sub), ctx)
+        operator, kind, payload, size, key = ctx.emitted[0]
+        assert (operator, kind, key) == ("M", KIND_SUBSCRIPTION, 42)
+        assert payload is sub
+        assert handler.subscriptions_routed == 1
+
+    def test_publication_broadcast(self):
+        handler = AccessPointHandler(CostModel())
+        ctx = FakeContext()
+        pub = Publication(5)
+        handler.process(event(KIND_PUBLICATION, pub), ctx)
+        assert len(ctx.broadcasts) == 1
+        assert ctx.broadcasts[0][1] == KIND_PUBLICATION
+        assert handler.publications_routed == 1
+
+    def test_stateless(self):
+        handler = AccessPointHandler(CostModel())
+        assert handler.export_state() is None
+        assert handler.state_size_bytes() == 0
+
+    def test_unknown_kind_rejected(self):
+        handler = AccessPointHandler(CostModel())
+        with pytest.raises(ValueError):
+            handler.process(event("bogus", None), FakeContext())
+
+
+class TestMatcher:
+    def make(self):
+        return MatcherHandler(
+            0, ExactBackend(BruteForceLibrary()), CostModel(), encrypted=False
+        )
+
+    def test_subscription_stored_with_subscriber_mapping(self):
+        handler = self.make()
+        handler.process(
+            event(KIND_SUBSCRIPTION, Subscription(3, 333, band(0, 0, 10))),
+            FakeContext(),
+        )
+        assert handler.backend.subscription_count() == 1
+        ctx = FakeContext()
+        handler.process(
+            event(KIND_PUBLICATION, Publication(1, payload=[5.0])), ctx
+        )
+        match_list = ctx.emitted[0][2]
+        assert match_list.subscriber_ids == (333,)
+
+    def test_publication_emits_match_list_keyed_by_pub_id(self):
+        handler = self.make()
+        ctx = FakeContext()
+        handler.process(event(KIND_PUBLICATION, Publication(9, payload=[5.0])), ctx)
+        operator, kind, payload, size, key = ctx.emitted[0]
+        assert (operator, kind, key) == ("EP", KIND_MATCH_LIST, 9)
+        assert payload.count == 0
+
+    def test_lock_modes(self):
+        handler = self.make()
+        assert handler.lock_mode(event(KIND_PUBLICATION, None)) == "R"
+        assert handler.lock_mode(event(KIND_SUBSCRIPTION, None)) == "W"
+
+    def test_cost_scales_with_stored_subscriptions(self):
+        handler = MatcherHandler(0, SampledBackend(0.01), CostModel())
+        empty_cost = handler.cost(event(KIND_PUBLICATION, None))
+        for i in range(1000):
+            handler.backend.store(i, None)
+        assert handler.cost(event(KIND_PUBLICATION, None)) > empty_cost
+
+    def test_state_roundtrip_preserves_subscribers(self):
+        handler = self.make()
+        handler.process(
+            event(KIND_SUBSCRIPTION, Subscription(1, 101, band(0, 0, 10))),
+            FakeContext(),
+        )
+        clone = self.make()
+        clone.import_state(handler.export_state())
+        ctx = FakeContext()
+        clone.process(event(KIND_PUBLICATION, Publication(1, payload=[5.0])), ctx)
+        assert ctx.emitted[0][2].subscriber_ids == (101,)
+
+    def test_state_size_uses_cost_model(self):
+        handler = self.make()
+        handler.preload(Subscription(1, 1, band(0, 0, 10)))
+        assert handler.state_size_bytes() == CostModel().subscription_bytes
+
+
+class TestExitPoint:
+    def make(self, m_slices=3):
+        return ExitPointHandler(CostModel(), m_slice_count=m_slices)
+
+    def match_list(self, pub_id, m_slice, count, ids=None):
+        return MatchList(pub_id, m_slice, count, ids, published_at=1.0)
+
+    def test_joins_all_m_lists_then_self_notifies(self):
+        handler = self.make()
+        ctx = FakeContext()
+        for m_slice in range(3):
+            handler.process(
+                event(KIND_MATCH_LIST, self.match_list(7, m_slice, 10), seq=m_slice),
+                ctx,
+            )
+        assert len(ctx.emitted) == 1
+        operator, kind, payload, size, key = ctx.emitted[0]
+        assert (operator, kind, key) == ("EP", KIND_NOTIFY, 7)
+        assert payload.count == 30
+        assert 7 not in handler.pending
+
+    def test_duplicate_partial_list_ignored(self):
+        handler = self.make()
+        ctx = FakeContext()
+        handler.process(event(KIND_MATCH_LIST, self.match_list(7, 0, 10)), ctx)
+        handler.process(
+            event(KIND_MATCH_LIST, self.match_list(7, 0, 99), seq=1), ctx
+        )
+        assert handler.pending[7][1] == 10  # the duplicate did not add
+
+    def test_incomplete_join_keeps_pending_state(self):
+        handler = self.make()
+        ctx = FakeContext()
+        handler.process(event(KIND_MATCH_LIST, self.match_list(7, 0, 5)), ctx)
+        assert ctx.emitted == []
+        assert handler.state_size_bytes() == CostModel().ep_pending_bytes
+
+    def test_dispatch_emits_aggregated_notification(self):
+        handler = self.make()
+        ctx = FakeContext()
+        notification = Notification(7, 30, None, published_at=1.0)
+        handler.process(event(KIND_NOTIFY, notification), ctx)
+        operator, kind, payload, size, key = ctx.emitted[0]
+        assert (operator, kind) == ("SINK", KIND_NOTIFICATION)
+        assert handler.notifications_sent == 30
+        # Wire size models one message per subscriber.
+        assert size == CostModel().frame_bytes + 30 * CostModel().notification_bytes
+
+    def test_state_roundtrip(self):
+        handler = self.make()
+        ctx = FakeContext()
+        handler.process(event(KIND_MATCH_LIST, self.match_list(7, 0, 5)), ctx)
+        clone = self.make()
+        clone.import_state(handler.export_state())
+        clone.process(event(KIND_MATCH_LIST, self.match_list(7, 1, 5), seq=1), ctx)
+        clone.process(event(KIND_MATCH_LIST, self.match_list(7, 2, 5), seq=2), ctx)
+        assert ctx.emitted[-1][2].count == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExitPointHandler(CostModel(), m_slice_count=0)
+        with pytest.raises(ValueError):
+            self.make().process(event("bogus", None), FakeContext())
+
+
+class TestSink:
+    def test_collects_notifications(self):
+        seen = []
+        handler = NotificationSinkHandler(lambda n, now: seen.append((n, now)))
+        notification = Notification(1, 5, None, published_at=0.0)
+        handler.process(event(KIND_NOTIFICATION, notification), FakeContext(now=2.5))
+        assert seen == [(notification, 2.5)]
+        assert handler.received == 1
+
+    def test_rejects_other_kinds(self):
+        handler = NotificationSinkHandler(lambda n, now: None)
+        with pytest.raises(ValueError):
+            handler.process(event(KIND_PUBLICATION, None), FakeContext())

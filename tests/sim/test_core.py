@@ -1,0 +1,309 @@
+"""Unit tests for the simulation kernel event loop."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+def test_clock_starts_at_initial_time():
+    assert Environment().now == 0.0
+    assert Environment(initial_time=42.5).now == 42.5
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(3.0)
+        log.append(env.now)
+        yield env.timeout(1.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [3.0, 4.5]
+
+
+def test_timeout_value_is_delivered():
+    env = Environment()
+    seen = []
+
+    def proc():
+        value = yield env.timeout(1.0, value="hello")
+        seen.append(value)
+
+    env.process(proc())
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+
+    def ticker():
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(ticker())
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_time_in_past_rejected():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2.0)
+        return "done"
+
+    result = env.run(until=env.process(proc()))
+    assert result == "done"
+    assert env.now == 2.0
+
+
+def test_events_fire_in_time_order_with_fifo_ties():
+    env = Environment()
+    order = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        order.append(name)
+
+    env.process(proc("b", 2.0))
+    env.process(proc("a", 1.0))
+    env.process(proc("a2", 1.0))
+    env.run()
+    assert order == ["a", "a2", "b"]
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener():
+        yield env.timeout(5.0)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert log == [(5.0, "open")]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+    with pytest.raises(RuntimeError):
+        event.fail(ValueError("x"))
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(RuntimeError):
+        _ = event.value
+    with pytest.raises(RuntimeError):
+        _ = event.ok
+
+
+def test_failed_event_raises_in_waiting_process():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter())
+    gate.fail(ValueError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_crashes_simulation():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_process_return_value_propagates_to_waiter():
+    env = Environment()
+    seen = []
+
+    def child():
+        yield env.timeout(1.0)
+        return 99
+
+    def parent():
+        value = yield env.process(child())
+        seen.append(value)
+
+    env.process(parent())
+    env.run()
+    assert seen == [99]
+
+
+def test_waiting_on_already_processed_event():
+    env = Environment()
+    seen = []
+
+    def child():
+        yield env.timeout(1.0)
+        return "early"
+
+    def parent(child_proc):
+        yield env.timeout(5.0)
+        value = yield child_proc  # already finished at t=1
+        seen.append((env.now, value))
+
+    proc = env.process(child())
+    env.process(parent(proc))
+    env.run()
+    assert seen == [(5.0, "early")]
+
+
+def test_interrupt_raises_in_target_with_cause():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            log.append((env.now, exc.cause))
+
+    def attacker(target):
+        yield env.timeout(3.0)
+        target.interrupt(cause="stop now")
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    assert log == [(3.0, "stop now")]
+
+
+def test_interrupting_dead_process_raises():
+    env = Environment()
+
+    def short():
+        yield env.timeout(1.0)
+
+    def late(target):
+        yield env.timeout(2.0)
+        target.interrupt()
+
+    target = env.process(short())
+    env.process(late(target))
+    with pytest.raises(RuntimeError):
+        env.run()
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2.0)
+
+    p = env.process(proc())
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    times = []
+
+    def proc():
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(3.0, value="b")
+        result = yield env.all_of([t1, t2])
+        times.append(env.now)
+        assert list(result.values()) == ["a", "b"]
+
+    env.process(proc())
+    env.run()
+    assert times == [3.0]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    times = []
+
+    def proc():
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(3.0, value="slow")
+        result = yield env.any_of([t1, t2])
+        times.append(env.now)
+        assert "fast" in result.values()
+
+    env.process(proc())
+    env.run()
+    assert times == [1.0]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.all_of([])
+        fired.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert fired == [0.0]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+
+
+def test_step_on_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(IndexError):
+        env.step()
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(TypeError):
+        env.run()

@@ -1,0 +1,195 @@
+"""Unit tests for Resource / Container."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Container
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    grants = []
+
+    def user(name, hold):
+        with res.request() as req:
+            yield req
+            grants.append((name, env.now))
+            yield env.timeout(hold)
+
+    env.process(user("a", 5.0))
+    env.process(user("b", 5.0))
+    env.process(user("c", 5.0))
+    env.run()
+    # a and b start immediately, c waits for the first release at t=5.
+    assert grants == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(name):
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1.0)
+
+    for name in ["u1", "u2", "u3"]:
+        env.process(user(name))
+    env.run()
+    assert order == ["u1", "u2", "u3"]
+
+
+def test_resource_count_tracks_usage():
+    env = Environment()
+    res = Resource(env, capacity=3)
+    samples = []
+
+    def user():
+        with res.request() as req:
+            yield req
+            yield env.timeout(2.0)
+
+    def sampler():
+        yield env.timeout(1.0)
+        samples.append(res.count)
+        yield env.timeout(2.0)
+        samples.append(res.count)
+
+    env.process(user())
+    env.process(user())
+    env.process(sampler())
+    env.run()
+    assert samples == [2, 0]
+
+
+def test_capacity_increase_unblocks_queued_requests():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    starts = []
+
+    def user(name):
+        with res.request() as req:
+            yield req
+            starts.append((name, env.now))
+            yield env.timeout(10.0)
+
+    def grower():
+        yield env.timeout(3.0)
+        res.set_capacity(2)
+
+    env.process(user("a"))
+    env.process(user("b"))
+    env.process(grower())
+    env.run()
+    assert starts == [("a", 0.0), ("b", 3.0)]
+
+
+def test_invalid_capacity_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+    res = Resource(env, capacity=1)
+    with pytest.raises(ValueError):
+        res.set_capacity(-1)
+
+
+def test_queued_request_can_be_withdrawn():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    served = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def impatient():
+        req = res.request()
+        yield env.timeout(1.0)  # still queued at this point
+        req.cancel()
+        served.append("gave up")
+
+    def patient():
+        with res.request() as req:
+            yield req
+            served.append(("patient", env.now))
+
+    env.process(holder())
+    env.process(impatient())
+    env.process(patient())
+    env.run()
+    assert ("patient", 10.0) in served
+    assert "gave up" in served
+
+
+def test_priority_request_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(5.0)
+
+    def user(name, priority):
+        with res.priority_request(priority=priority) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1.0)
+
+    env.process(holder())
+    env.process(user("low", 10))
+    env.process(user("high", 0))
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_double_release_is_noop():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user():
+        req = res.request()
+        yield req
+        req.cancel()
+        req.cancel()  # second cancel must not corrupt state
+
+    env.process(user())
+    env.run()
+    assert res.count == 0
+
+
+def test_container_put_get():
+    env = Environment()
+    tank = Container(env, capacity=100.0, init=10.0)
+    got = []
+
+    def consumer():
+        yield tank.get(30.0)
+        got.append(env.now)
+
+    def producer():
+        yield env.timeout(2.0)
+        tank.put(25.0)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [2.0]
+    assert tank.level == pytest.approx(5.0)
+
+
+def test_container_overflow_rejected():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=5.0)
+    with pytest.raises(ValueError):
+        tank.put(6.0)
+
+
+def test_container_invalid_init():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=10.0, init=11.0)

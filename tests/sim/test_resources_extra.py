@@ -1,0 +1,96 @@
+"""Additional Resource/Store API coverage."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store
+
+
+def test_explicit_release_event():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(2.0)
+        release = res.release(req)
+        yield release
+        order.append(("released", env.now))
+
+    def waiter():
+        req = res.request()
+        yield req
+        order.append(("granted", env.now))
+        req.cancel()
+
+    env.process(holder())
+    env.process(waiter())
+    env.run()
+    assert ("granted", 2.0) in order
+    assert ("released", 2.0) in order
+
+
+def test_store_get_cancel_before_item():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def impatient():
+        get_event = store.get()
+        yield env.timeout(1.0)
+        get_event.cancel()
+        get_event.cancel()  # idempotent
+
+    def patient():
+        item = yield store.get()
+        got.append(item)
+
+    def producer():
+        yield env.timeout(2.0)
+        yield store.put("x")
+
+    env.process(impatient())
+    env.process(patient())
+    env.process(producer())
+    env.run()
+    # The cancelled getter never consumed the item; the patient one did.
+    assert got == ["x"]
+
+
+def test_put_nowait_rejected_on_bounded_store():
+    env = Environment()
+    store = Store(env, capacity=2)
+    with pytest.raises(RuntimeError):
+        store.put_nowait("x")
+
+
+def test_try_get_respects_predicate():
+    env = Environment()
+    store = Store(env)
+    store.put_nowait(1)
+    store.put_nowait(10)
+    assert store.try_get(lambda item: item > 5) == 10
+    assert store.try_get(lambda item: item > 5) is None
+    assert store.try_get() == 1
+    assert store.try_get() is None
+
+
+def test_put_nowait_wakes_waiting_getter():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    env.process(consumer())
+
+    def producer():
+        yield env.timeout(3.0)
+        store.put_nowait("direct")
+
+    env.process(producer())
+    env.run()
+    assert got == [(3.0, "direct")]

@@ -1,0 +1,147 @@
+"""Unit tests for Store."""
+
+import pytest
+
+from repro.sim import Environment, Store
+
+
+def test_put_then_get_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(4.0)
+        yield store.put("x")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(4.0, "x")]
+
+
+def test_bounded_store_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    events = []
+
+    def producer():
+        yield store.put("a")
+        events.append(("put-a", env.now))
+        yield store.put("b")
+        events.append(("put-b", env.now))
+
+    def consumer():
+        yield env.timeout(5.0)
+        item = yield store.get()
+        events.append(("got", item, env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert ("put-a", 0.0) in events
+    assert ("put-b", 5.0) in events
+
+
+def test_filtered_get_skips_non_matching():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def run():
+        yield store.put({"kind": "a", "v": 1})
+        yield store.put({"kind": "b", "v": 2})
+        item = yield store.get(lambda it: it["kind"] == "b")
+        got.append(item["v"])
+        item = yield store.get()
+        got.append(item["v"])
+
+    env.process(run())
+    env.run()
+    assert got == [2, 1]
+
+
+def test_filtered_get_waits_for_matching_item():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get(lambda it: it > 10)
+        got.append((env.now, item))
+
+    def producer():
+        yield store.put(1)
+        yield env.timeout(3.0)
+        yield store.put(42)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(3.0, 42)]
+    assert store.peek_all() == [1]
+
+
+def test_len_and_peek_all():
+    env = Environment()
+    store = Store(env)
+
+    def run():
+        yield store.put("x")
+        yield store.put("y")
+
+    env.process(run())
+    env.run()
+    assert len(store) == 2
+    assert store.peek_all() == ["x", "y"]
+
+
+def test_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_multiple_consumers_fifo_service():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(name):
+        item = yield store.get()
+        got.append((name, item))
+
+    def producer():
+        yield env.timeout(1.0)
+        yield store.put("first")
+        yield store.put("second")
+
+    env.process(consumer("c1"))
+    env.process(consumer("c2"))
+    env.process(producer())
+    env.run()
+    assert got == [("c1", "first"), ("c2", "second")]

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ["figure1", "figure6", "table1", "figure7", "figure8",
+                    "figure9", "ablations"]:
+        args = parser.parse_args([command])
+        assert args.command == command
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_figure1_command_prints_trace(capsys):
+    assert main(["figure1", "--resolution", "3600"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "09.0h" in out or "9.0h" in out
+
+
+def test_figure8_argument_defaults():
+    args = build_parser().parse_args(["figure8"])
+    assert args.time_scale == 0.25
+    assert args.peak == 350.0
+
+
+def test_table1_small_run_via_main(capsys, monkeypatch):
+    # Shrink the experiment through its own knobs for a fast CLI check.
+    import repro.cli as cli
+    from repro.experiments import run_table1
+
+    def tiny_table1(migrations_per_operator):
+        return run_table1(
+            migrations_per_operator=2,
+            subscriptions_per_m_slice=(500,),
+            settle_s=1.0,
+        )
+
+    monkeypatch.setattr("repro.experiments.run_table1", tiny_table1)
+    assert cli.main(["table1", "--migrations", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "AP" in out and "EP" in out
+
+
+def test_ablations_choice_validation():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["ablations", "--which", "bogus"])

@@ -1,0 +1,28 @@
+"""Smoke tests: the fast example scripts run to completion.
+
+(The longer examples — stock_monitoring, fault_tolerance, custom_policy —
+are exercised by the equivalent integration tests and benchmarks; running
+them here would slow the unit suite.)
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script", ["quickstart.py", "encrypted_filtering.py", "live_migration.py"]
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()

@@ -1,0 +1,50 @@
+"""The README's quickstart snippet must keep working verbatim-ish."""
+
+from repro import (
+    CloudProvider,
+    ElasticityManager,
+    ElasticityPolicy,
+    Environment,
+    HubConfig,
+    Publication,
+    StreamHub,
+    Subscription,
+)
+from repro.filtering import BruteForceLibrary, ExactBackend, Op, Predicate, PredicateSet
+
+
+def test_readme_quickstart_snippet():
+    env = Environment()
+    cloud = CloudProvider(env)
+    hosts = [cloud.provision_now() for _ in range(2)]
+    sink = cloud.provision_now()
+
+    config = HubConfig(
+        ap_slices=2, m_slices=4, ep_slices=2, sink_slices=1,
+        encrypted=False,
+        backend_factory=lambda i: ExactBackend(BruteForceLibrary()),
+    )
+    hub = StreamHub(env, cloud.network, config)
+    hub.deploy_all_on(hosts, [sink])
+
+    hub.subscribe(Subscription(0, subscriber=7,
+                               filter_payload=PredicateSet.of(
+                                   Predicate(0, Op.GE, 100.0))))
+    env.run()
+    hub.publish(Publication(0, payload=[120.0, 0, 0, 0], published_at=env.now))
+    env.run()
+    assert hub.notification_log[0].subscriber_ids == (7,)
+    assert hub.delay_tracker.stats().count == 1
+
+
+def test_readme_elasticity_snippet_types():
+    env = Environment()
+    cloud = CloudProvider(env)
+    host = cloud.provision_now()
+    hub = StreamHub(env, cloud.network, HubConfig.sampled(
+        0.01, ap_slices=1, m_slices=2, ep_slices=1, sink_slices=1))
+    hub.deploy_all_on([host], [cloud.provision_now()])
+    manager = ElasticityManager(hub, cloud, [host], policy=ElasticityPolicy())
+    manager.start()
+    env.run(until=12.0)
+    assert manager.host_count == 1  # idle system stays put

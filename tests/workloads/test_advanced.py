@@ -1,0 +1,134 @@
+"""Tests for the workload extensions (Zipf, correlation, multi-source)."""
+
+import math
+import random
+
+import pytest
+
+from repro.workloads.advanced import (
+    CorrelatedPublicationGenerator,
+    MultiSourceWorkload,
+    ZipfSubscriptionGenerator,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_weights(10, exponent=1.2)
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(4, exponent=0.0)
+        assert all(w == pytest.approx(0.25) for w in weights)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, exponent=-1)
+
+
+class TestZipfSubscriptions:
+    def test_hot_instruments_dominate(self):
+        gen = ZipfSubscriptionGenerator(instruments=50, exponent=1.2, seed=1)
+        picks = [gen.pick_instrument() for _ in range(5000)]
+        hot = sum(1 for p in picks if p < 5)
+        cold = sum(1 for p in picks if p >= 45)
+        assert hot > 5 * max(cold, 1)
+        assert all(0 <= p < 50 for p in picks)
+
+    def test_predicates_stay_inside_instrument_region(self):
+        gen = ZipfSubscriptionGenerator(
+            instruments=10, value_range=1000.0, matching_rate=0.01, seed=2
+        )
+        for _ in range(200):
+            ps = gen.predicate_set()
+            (lower, upper) = ps.predicates
+            region = int(lower.constant // 100)
+            assert upper.constant <= (region + 1) * 100 + 1e-6
+            assert upper.constant - lower.constant == pytest.approx(10.0)
+
+    def test_subscription_stream(self):
+        gen = ZipfSubscriptionGenerator(seed=3)
+        subs = list(gen.subscriptions(10))
+        assert [s.sub_id for s in subs] == list(range(10))
+        assert all(s.filter_payload is not None for s in subs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSubscriptionGenerator(instruments=0)
+        with pytest.raises(ValueError):
+            ZipfSubscriptionGenerator(matching_rate=0.0)
+
+
+class TestCorrelatedPublications:
+    def test_marginals_stay_uniform(self):
+        gen = CorrelatedPublicationGenerator(correlation=0.8, seed=4)
+        samples = [gen.attributes() for _ in range(3000)]
+        for attribute in range(4):
+            values = [s[attribute] for s in samples]
+            mean = sum(values) / len(values)
+            assert 450 < mean < 550  # uniform over [0, 1000)
+            assert min(values) >= 0.0 and max(values) < 1000.0
+
+    def test_consecutive_attributes_correlate(self):
+        gen = CorrelatedPublicationGenerator(correlation=0.9, seed=5)
+        samples = [gen.attributes() for _ in range(3000)]
+        xs = [s[0] for s in samples]
+        ys = [s[1] for s in samples]
+        assert _pearson(xs, ys) > 0.6
+
+    def test_zero_correlation(self):
+        gen = CorrelatedPublicationGenerator(correlation=0.0, seed=6)
+        samples = [gen.attributes() for _ in range(3000)]
+        xs = [s[0] for s in samples]
+        ys = [s[1] for s in samples]
+        assert abs(_pearson(xs, ys)) < 0.1
+
+    def test_payload_factory(self):
+        gen = CorrelatedPublicationGenerator(seed=7)
+        factory = gen.payload_factory()
+        assert len(factory(0)) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedPublicationGenerator(correlation=1.0)
+
+
+class TestMultiSource:
+    def test_sources_feed_one_hub(self):
+        from tests.pubsub.conftest import HubHarness, small_sampled_config
+
+        h = HubHarness(small_sampled_config())
+        workload = MultiSourceWorkload(h.hub, count=3, seed=8)
+        workload.publish_profiles(
+            [lambda t: 20.0, lambda t: 10.0, lambda t: 5.0], duration_s=4.0
+        )
+        h.env.run()
+        assert workload.total_published() == h.hub.published_count
+        assert h.hub.notified_publications == h.hub.published_count
+        # Each source has its own identity and id space offset by driver.
+        names = {source.name for source in workload.sources}
+        assert names == {"source:0", "source:1", "source:2"}
+
+    def test_validation(self):
+        from tests.pubsub.conftest import HubHarness, small_sampled_config
+
+        h = HubHarness(small_sampled_config())
+        with pytest.raises(ValueError):
+            MultiSourceWorkload(h.hub, count=0)
+        workload = MultiSourceWorkload(h.hub, count=2)
+        with pytest.raises(ValueError):
+            workload.publish_profiles([lambda t: 1.0], duration_s=1.0)
+
+
+def _pearson(xs, ys):
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / n
+    sx = math.sqrt(sum((x - mx) ** 2 for x in xs) / n)
+    sy = math.sqrt(sum((y - my) ** 2 for y in ys) / n)
+    return cov / (sx * sy)
