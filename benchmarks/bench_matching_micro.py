@@ -2,13 +2,14 @@
 
 The paper's premise for the evaluation design: encrypted (ASPE) filtering
 must match every publication against *every* stored subscription, while
-plaintext filtering can exploit workload structure (§VI-B).  These
-micro-benchmarks measure the actual Python implementations: the counting
-index — which exploits the 1% selectivity — beats both all-pairs
-matchers by a wide margin.  (Wall-clock, the numpy-vectorized ASPE can
-outrun the pure-Python brute-force loop despite doing strictly more
-arithmetic; the calibrated CostModel, not these Python timings, is what
-the cluster simulation charges.)
+plaintext filtering can exploit workload structure (§VI-B).  That premise
+is about operation *counts* — and the calibrated CostModel, not these
+Python timings, is what the cluster simulation charges.  Wall-clock, the
+packed-matrix ASPE kernel (see DESIGN.md, "the matching kernel") does its
+all-pairs work in a handful of numpy calls and outruns both pure-Python
+matchers, including the counting index that exploits the 1% selectivity;
+among the interpreted ones the index still beats brute force by a wide
+margin.
 
 (Unlike the simulation benches, these run multiple timed rounds — they
 measure this library's real matching throughput.)
@@ -92,6 +93,8 @@ def test_aspe_encrypted_matching(benchmark, report):
         report(f"  counting index : {RESULTS['index_mean_s'] * 1000:8.2f} ms")
         report(f"  brute force    : {RESULTS['brute_mean_s'] * 1000:8.2f} ms")
         report(f"  ASPE encrypted : {RESULTS['aspe_mean_s'] * 1000:8.2f} ms")
-        # The index exploits the 1% selectivity; ASPE cannot index at all.
+        # Among the interpreted matchers the index exploits the 1%
+        # selectivity; the vectorized ASPE kernel beats both wall-clock
+        # despite doing strictly more arithmetic (all pairs, encrypted).
         assert RESULTS["index_mean_s"] < RESULTS["brute_mean_s"]
-        assert RESULTS["aspe_mean_s"] > RESULTS["index_mean_s"]
+        assert RESULTS["aspe_mean_s"] < RESULTS["index_mean_s"]

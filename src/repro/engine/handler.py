@@ -75,6 +75,33 @@ class SliceHandler(ABC):
         """Lock taken while processing: "R" (concurrent) or "W" (exclusive)."""
         return "R"
 
+    # -- event coalescing (opt-in batching) -----------------------------------
+
+    def coalesce_limit(self, event: StreamEvent) -> int:
+        """Max events to coalesce into one batch headed by ``event``.
+
+        Returning 1 (the default) disables batching for this event.  When
+        greater, the engine drains consecutively queued events accepted by
+        :meth:`coalesce_with` and hands them to :meth:`process_batch` under
+        one lock acquisition, charging the *sum* of the per-event costs —
+        total CPU accounting is unchanged, only the call count shrinks.
+        """
+        return 1
+
+    def coalesce_with(self, head: StreamEvent, candidate: StreamEvent) -> bool:
+        """May ``candidate`` join a batch headed by ``head``?
+
+        Only called when ``coalesce_limit(head) > 1``.  Implementations
+        must accept only events with the same :meth:`lock_mode` as the
+        head (the whole batch runs under the head's lock).
+        """
+        return False
+
+    def process_batch(self, events, ctx: "SliceContext") -> None:
+        """Handle a coalesced batch (default: process events in order)."""
+        for event in events:
+            self.process(event, ctx)
+
     # -- explicit state management (migration support) -----------------------
 
     def export_state(self) -> Any:

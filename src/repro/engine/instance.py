@@ -195,6 +195,41 @@ class SliceInstance:
 
     # -- processing -----------------------------------------------------------
 
+    def _drain_batch(self, head: StreamEvent) -> List[StreamEvent]:
+        """Coalesce queued events behind ``head`` if the handler opts in.
+
+        Draining happens under the head's lock, taking only *consecutive*
+        inbox events the handler accepts (same lock mode by contract), so
+        FIFO order and the per-event cost/sequence accounting are
+        preserved; the sum of the batch's costs is charged in one CPU run.
+        Disabled during crash recovery, where replayed events must be
+        reprocessed one-by-one to realign emission sequence numbers.
+        """
+        batch = [head]
+        if self.recovering:
+            return batch
+        limit = self.handler.coalesce_limit(head)
+        if limit <= 1:
+            return batch
+        items = self.inbox.items
+        while len(batch) < limit and items:
+            candidate = items[0]
+            if (
+                self._dedup_vector
+                and candidate.seq <= self._dedup_vector.get(candidate.source, -1)
+            ):
+                # The worker loop would drop it on dequeue; drop it here so
+                # a stale duplicate does not split an otherwise contiguous
+                # run of coalescible events.
+                items.popleft()
+                self.dropped_duplicates += 1
+                continue
+            if not self.handler.coalesce_with(head, candidate):
+                break
+            items.popleft()
+            batch.append(candidate)
+        return batch
+
     def _start_workers(self) -> None:
         self._workers = [
             self.env.process(self._worker_loop()) for _ in range(self.parallelism)
@@ -223,16 +258,21 @@ class SliceInstance:
                     if not self.lock.try_acquire(mode):
                         yield self.lock.acquire(mode)
                     try:
-                        cost = self.handler.cost(event)
+                        batch = self._drain_batch(event)
+                        cost = sum(self.handler.cost(e) for e in batch)
                         if cost > 0.0:
                             yield from self.host.cpu.run(cost, tag=self.logical_id)
-                        self.handler.process(event, self._ctx)
+                        if len(batch) == 1:
+                            self.handler.process(event, self._ctx)
+                        else:
+                            self.handler.process_batch(batch, self._ctx)
                     finally:
                         self.lock.release(mode)
-                    previous = self.last_processed.get(event.source, -1)
-                    if event.seq > previous:
-                        self.last_processed[event.source] = event.seq
-                    self.processed_count += 1
+                    for processed in batch:
+                        previous = self.last_processed.get(processed.source, -1)
+                        if processed.seq > previous:
+                            self.last_processed[processed.source] = processed.seq
+                    self.processed_count += len(batch)
                 finally:
                     self._busy -= 1
                 self._check_progress()

@@ -15,7 +15,7 @@ duplicated to the destination instance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from ..cluster import Host, Network
 from ..sim import Environment
@@ -87,8 +87,12 @@ class EngineRuntime:
         self.migration_costs = migration_costs
         self.operators: Dict[str, OperatorInfo] = {}
         self.slices: Dict[str, LogicalSlice] = {}
-        #: Sequence counters per (source key, destination logical slice id).
-        self._next_seq: Dict[Tuple[str, str], int] = {}
+        #: Sequence counters per (source key, destination logical slice id),
+        #: indexed both ways so migration cutoffs (per destination) and
+        #: recovery checkpoints (per source) read only their own channels
+        #: instead of scanning every channel in the system.
+        self._next_seq_by_src: Dict[str, Dict[str, int]] = {}
+        self._next_seq_by_dst: Dict[str, Dict[str, int]] = {}
         self.migrations_completed = 0
         #: Upstream retention for crash recovery; None unless enabled.
         self.retention = None
@@ -208,9 +212,10 @@ class EngineRuntime:
             logical = self.slices[f"{operator}:{index}"]
             if logical.active is None:
                 raise RuntimeError(f"slice {logical.id} is not deployed")
-            seq_key = (source_key, logical.id)
-            seq = self._next_seq.get(seq_key, 0)
-            self._next_seq[seq_key] = seq + 1
+            by_dst = self._next_seq_by_src.setdefault(source_key, {})
+            seq = by_dst.get(logical.id, 0)
+            by_dst[logical.id] = seq + 1
+            self._next_seq_by_dst.setdefault(logical.id, {})[source_key] = seq + 1
             event = StreamEvent(kind, payload, source_key, seq, size_bytes, now, replayed)
             if self.retention is not None:
                 self.retention.record(source_key, logical.id, event)
@@ -239,8 +244,7 @@ class EngineRuntime:
         """Last sequence number sent to ``slice_id`` per source, so far."""
         return {
             source: next_seq - 1
-            for (source, dst), next_seq in self._next_seq.items()
-            if dst == slice_id
+            for source, next_seq in self._next_seq_by_dst.get(slice_id, {}).items()
         }
 
     # -- crash-recovery support ----------------------------------------------
@@ -255,19 +259,15 @@ class EngineRuntime:
     def seq_counters_from(self, slice_id: str) -> Dict[str, int]:
         """Outgoing sequence counters of ``slice_id`` (checkpointed so a
         recovered instance regenerates identical sequence numbers)."""
-        return {
-            dst: next_seq
-            for (source, dst), next_seq in self._next_seq.items()
-            if source == slice_id
-        }
+        return dict(self._next_seq_by_src.get(slice_id, {}))
 
     def restore_seq_counters(self, slice_id: str, counters: Dict[str, int]) -> None:
         """Reset ``slice_id``'s outgoing counters to a checkpointed value."""
-        for (source, dst) in list(self._next_seq):
-            if source == slice_id:
-                del self._next_seq[(source, dst)]
+        for dst in self._next_seq_by_src.get(slice_id, {}):
+            self._next_seq_by_dst[dst].pop(slice_id, None)
+        self._next_seq_by_src[slice_id] = dict(counters)
         for dst, next_seq in counters.items():
-            self._next_seq[(slice_id, dst)] = next_seq
+            self._next_seq_by_dst.setdefault(dst, {})[slice_id] = next_seq
 
     # -- migration --------------------------------------------------------------------
 

@@ -200,6 +200,19 @@ def match_encrypted(
     return True
 
 
+#: Comparison direction per op code: +1 keeps the product sign, −1 flips
+#: it, so every decision reduces to ``sign·product {>, ≥−} tolerance``.
+_OP_SIGN = {"gt": 1.0, "ge": 1.0, "lt": -1.0, "le": -1.0}
+#: Strict comparisons exclude the tolerance band, non-strict include it.
+_OP_STRICT = {"gt": True, "ge": False, "lt": True, "le": False}
+
+#: Initial row capacity of the packed predicate matrix.
+_MIN_CAPACITY = 64
+#: Compact once dead rows outnumber live ones (and exceed this floor), so
+#: the matrix never carries more than 2× the live predicate rows.
+_COMPACT_MIN_DEAD = 64
+
+
 class AspeLibrary(FilteringLibrary):
     """Filtering library over ASPE ciphertexts.
 
@@ -208,25 +221,67 @@ class AspeLibrary(FilteringLibrary):
     property that makes encrypted filtering computationally heavy and the
     paper's experiments workload-independent.
 
-    When many subscriptions are stored, the per-predicate inner products are
-    evaluated with a vectorized batch product over a packed matrix.
+    The predicate ciphertexts of all stored subscriptions live in one
+    packed row matrix that is maintained *incrementally*: ``store`` appends
+    rows into an amortized-doubling buffer, ``remove`` tombstones the
+    subscription's row span, and compaction runs only when dead rows
+    outnumber live ones — store/remove churn costs amortized O(rows
+    touched), never a full repack.  Per-row tolerance norms and comparison
+    directions are precomputed as ndarrays so a match is one matrix-vector
+    product plus vectorized mask reductions (``np.logical_and.reduceat``
+    over per-subscription row spans); :meth:`match_batch` evaluates a whole
+    batch of publications as a single matrix-matrix product.
     """
 
     def __init__(self) -> None:
         self._subs: Dict[int, EncryptedSubscription] = {}
-        self._packed: Optional[Tuple[np.ndarray, List[Tuple[int, str]], List[Tuple[int, int]]]] = None
+        #: Packed state: row buffer + per-row decision metadata.  Allocated
+        #: lazily on the first store (the ciphertext width is unknown
+        #: until then) and grown by doubling.  Rows are stored
+        #: *direction-folded*: a ``lt``/``le`` query vector is negated on
+        #: the way in (exact in IEEE arithmetic), so every decision is
+        #: ``product {>, ≥−} tolerance`` with no per-row sign multiply.
+        self._matrix: Optional[np.ndarray] = None
+        self._strict: Optional[np.ndarray] = None
+        #: Per-row ``_REL_TOL · (‖q̂‖ + 1)``; the decision tolerance is this
+        #: times the publication's scale factor.
+        self._tol_base: Optional[np.ndarray] = None
+        self._alive: Optional[np.ndarray] = None
+        self._rows = 0  # buffer rows in use (live + tombstoned)
+        self._dead_rows = 0
+        #: sub_id → [start, stop) row span in the packed matrix.
+        self._spans: Dict[int, Tuple[int, int]] = {}
+        #: Lazily built span index for span reductions (see _span_index).
+        self._index: Optional[
+            Tuple[List[int], np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+        # Instrumentation: churn benchmarks assert store/remove stays
+        # incremental (appends, occasional compactions, no full repacks).
+        self.rows_appended = 0
+        self.compaction_count = 0
+        self.full_pack_count = 0
+
+    # -- storage --------------------------------------------------------------
 
     def store(self, sub_id: int, filter_data: EncryptedSubscription) -> None:
         if not isinstance(filter_data, EncryptedSubscription):
             raise TypeError(
                 f"expected EncryptedSubscription, got {type(filter_data).__name__}"
             )
+        if sub_id in self._subs:
+            self._tombstone(sub_id)
         self._subs[sub_id] = filter_data
-        self._packed = None
+        self._append_rows(sub_id, filter_data)
+        self._index = None
+        self._maybe_compact()
 
     def remove(self, sub_id: int) -> None:
-        del self._subs[sub_id]
-        self._packed = None
+        del self._subs[sub_id]  # KeyError if unknown
+        self._tombstone(sub_id)
+        self._index = None
+        self._maybe_compact()
+
+    # -- matching -------------------------------------------------------------
 
     def match(self, publication_data: EncryptedPublication) -> List[int]:
         if not isinstance(publication_data, EncryptedPublication):
@@ -235,21 +290,50 @@ class AspeLibrary(FilteringLibrary):
             )
         if not self._subs:
             return []
-        matrix, ops, spans = self._pack()
+        ids, positions, starts, stops = self._span_index()
+        if starts.size == 0:
+            # Only empty (vacuously true) subscriptions are stored.
+            return list(ids)
         u = publication_data.vector
-        products = matrix @ u
+        rows = self._rows
+        products = self._matrix[:rows] @ u
         scale = float(np.linalg.norm(u)) + 1.0
-        matched: List[int] = []
-        for sub_id, (start, stop) in spans:
-            ok = True
-            for row in range(start, stop):
-                tolerance = _REL_TOL * scale * ops[row][1]
-                if not _decide(ops[row][0], float(products[row]), tolerance):
-                    ok = False
-                    break
-            if ok:
-                matched.append(sub_id)
-        return matched
+        satisfied = self._decide_rows(products, scale * self._tol_base[:rows])
+        ok = self._reduce_spans(satisfied, starts, stops)
+        result = np.ones(len(ids), dtype=bool)
+        result[positions] = ok
+        return [ids[i] for i in np.nonzero(result)[0]]
+
+    def match_batch(
+        self, publications: Sequence[EncryptedPublication]
+    ) -> List[List[int]]:
+        for publication in publications:
+            if not isinstance(publication, EncryptedPublication):
+                raise TypeError(
+                    f"expected EncryptedPublication, got {type(publication).__name__}"
+                )
+        if not publications:
+            return []
+        if not self._subs:
+            return [[] for _ in publications]
+        ids, positions, starts, stops = self._span_index()
+        if starts.size == 0:
+            return [list(ids) for _ in publications]
+        batch = np.stack([p.vector for p in publications])  # (B, n)
+        rows = self._rows
+        # Publication-major layout: every downstream reduction then runs
+        # over contiguous per-publication rows.
+        products = batch @ self._matrix[:rows].T  # (B, rows)
+        scales = np.linalg.norm(batch, axis=1) + 1.0
+        tolerances = scales[:, None] * self._tol_base[None, :rows]
+        strict = self._strict[None, :rows]
+        satisfied = np.where(strict, products > tolerances, products >= -tolerances)
+        ok = self._reduce_spans(satisfied, starts, stops)
+        result = np.ones((len(publications), len(ids)), dtype=bool)
+        result[:, positions] = ok
+        return [[ids[i] for i in np.nonzero(row)[0]] for row in result]
+
+    # -- bookkeeping ----------------------------------------------------------
 
     def subscription_count(self) -> int:
         return len(self._subs)
@@ -261,21 +345,160 @@ class AspeLibrary(FilteringLibrary):
         return dict(self._subs)
 
     def import_state(self, state: Dict[int, EncryptedSubscription]) -> None:
-        self._subs = dict(state)
-        self._packed = None
+        self._subs = {}
+        self._matrix = None
+        self._strict = self._tol_base = self._alive = None
+        self._rows = 0
+        self._dead_rows = 0
+        self._spans = {}
+        self._index = None
+        for sub_id, subscription in state.items():
+            self._subs[sub_id] = subscription
+            self._append_rows(sub_id, subscription)
+        self.full_pack_count += 1
 
-    def _pack(self):
-        if self._packed is None:
-            rows: List[np.ndarray] = []
-            ops: List[Tuple[str, float]] = []
-            spans: List[Tuple[int, Tuple[int, int]]] = []
-            for sub_id, subscription in self._subs.items():
-                start = len(rows)
-                for predicate in subscription.predicates:
-                    rows.append(predicate.vector)
-                    ops.append(
-                        (predicate.op_code, float(np.linalg.norm(predicate.vector)) + 1.0)
-                    )
-                spans.append((sub_id, (start, len(rows))))
-            self._packed = (np.vstack(rows), ops, spans)
-        return self._packed
+    # -- packed-state maintenance ---------------------------------------------
+
+    def _decide_rows(self, products, tolerances):
+        """Vectorized :func:`_decide` over the (direction-folded) rows."""
+        rows = self._rows
+        return np.where(
+            self._strict[:rows], products > tolerances, products >= -tolerances
+        )
+
+    @staticmethod
+    def _reduce_spans(satisfied, starts, stops):
+        """Per-span conjunction of ``satisfied`` along its last axis.
+
+        Counts unsatisfied rows through an exclusive prefix sum, so the
+        [start, stop) gather skips tombstoned gaps between spans without
+        touching them — faster than ``np.logical_and.reduceat`` and
+        immune to dead-row garbage.
+        """
+        length = satisfied.shape[-1]
+        prefix = np.zeros(satisfied.shape[:-1] + (length + 1,), dtype=np.int32)
+        np.cumsum(~satisfied, axis=-1, out=prefix[..., 1:])
+        return (prefix[..., stops] - prefix[..., starts]) == 0
+
+    def _append_rows(self, sub_id: int, subscription: EncryptedSubscription) -> None:
+        predicates = subscription.predicates
+        count = len(predicates)
+        if count == 0:
+            self._spans[sub_id] = (self._rows, self._rows)
+            return
+        width = predicates[0].vector.shape[0]
+        self._ensure_capacity(count, width)
+        start = self._rows
+        stop = start + count
+        block = self._matrix[start:stop]
+        for offset, predicate in enumerate(predicates):
+            # Folding the ±1 comparison direction into the row is exact:
+            # IEEE negation commutes with sums and products bit-for-bit.
+            if _OP_SIGN[predicate.op_code] < 0.0:
+                np.negative(predicate.vector, out=block[offset])
+            else:
+                block[offset] = predicate.vector
+            self._strict[start + offset] = _OP_STRICT[predicate.op_code]
+        self._tol_base[start:stop] = _REL_TOL * (np.linalg.norm(block, axis=1) + 1.0)
+        self._alive[start:stop] = True
+        self._rows = stop
+        self._spans[sub_id] = (start, stop)
+        self.rows_appended += count
+
+    def _ensure_capacity(self, extra: int, width: int) -> None:
+        if self._matrix is None:
+            capacity = max(_MIN_CAPACITY, 2 * extra)
+            self._matrix = np.empty((capacity, width))
+            self._strict = np.zeros(capacity, dtype=bool)
+            self._tol_base = np.empty(capacity)
+            self._alive = np.zeros(capacity, dtype=bool)
+            return
+        if width != self._matrix.shape[1]:
+            raise ValueError(
+                f"ciphertext width {width} does not match stored width "
+                f"{self._matrix.shape[1]}"
+            )
+        needed = self._rows + extra
+        capacity = self._matrix.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty((capacity, width))
+        grown[: self._rows] = self._matrix[: self._rows]
+        self._matrix = grown
+        buffer = np.empty(capacity)
+        buffer[: self._rows] = self._tol_base[: self._rows]
+        self._tol_base = buffer
+        for name in ("_strict", "_alive"):
+            buffer = np.zeros(capacity, dtype=bool)
+            buffer[: self._rows] = getattr(self, name)[: self._rows]
+            setattr(self, name, buffer)
+
+    def _tombstone(self, sub_id: int) -> None:
+        start, stop = self._spans.pop(sub_id)
+        if stop > start:
+            self._alive[start:stop] = False
+            self._dead_rows += stop - start
+
+    def _maybe_compact(self) -> None:
+        live = self._rows - self._dead_rows
+        if self._dead_rows > max(live, _COMPACT_MIN_DEAD):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstoned rows, preserving the relative order of live ones.
+
+        A subscription's rows are tombstoned all-or-nothing, so remapping
+        the span boundaries through the live-row prefix sums keeps every
+        span contiguous.
+        """
+        rows = self._rows
+        alive = self._alive[:rows]
+        keep = np.nonzero(alive)[0]
+        offsets = np.zeros(rows + 1, dtype=np.int64)
+        np.cumsum(alive, out=offsets[1:])
+        self._matrix[: keep.size] = self._matrix[keep]
+        self._strict[: keep.size] = self._strict[keep]
+        self._tol_base[: keep.size] = self._tol_base[keep]
+        self._alive[: keep.size] = True
+        self._alive[keep.size : rows] = False
+        self._spans = {
+            sub_id: (int(offsets[start]), int(offsets[stop]))
+            for sub_id, (start, stop) in self._spans.items()
+        }
+        self._rows = int(keep.size)
+        self._dead_rows = 0
+        self._index = None
+        self.compaction_count += 1
+
+    def _span_index(self):
+        """Cached reduction index: (ids, positions, starts, stops).
+
+        ``ids`` lists stored subscription ids in dict (insertion) order;
+        ``starts``/``stops`` hold the row offsets of all *non-empty* spans,
+        sorted by start, ready for the prefix-sum span reduction;
+        ``positions[j]`` is the index into ``ids`` of the span whose
+        reduction lands in slot ``j``.  Empty spans are left out — their
+        subscriptions match vacuously.  Rebuilding is O(#subscriptions),
+        done lazily after a structural change; match itself is already
+        Ω(#subscriptions).
+        """
+        if self._index is None:
+            ids: List[int] = []
+            span_starts: List[int] = []
+            span_stops: List[int] = []
+            span_positions: List[int] = []
+            for position, sub_id in enumerate(self._subs):
+                ids.append(sub_id)
+                start, stop = self._spans[sub_id]
+                if stop > start:
+                    span_starts.append(start)
+                    span_stops.append(stop)
+                    span_positions.append(position)
+            starts = np.asarray(span_starts, dtype=np.int64)
+            stops = np.asarray(span_stops, dtype=np.int64)
+            positions = np.asarray(span_positions, dtype=np.int64)
+            order = np.argsort(starts, kind="stable")
+            self._index = (ids, positions[order], starts[order], stops[order])
+        return self._index

@@ -27,7 +27,7 @@ import math
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from .base import FilteringLibrary
 
@@ -62,6 +62,17 @@ class MatchingBackend(ABC):
     def match(self, pub_id: int, payload: Any) -> MatchResult:
         """Match one publication against the stored subscriptions."""
 
+    def match_batch(self, pub_ids: Sequence[int], payloads: Sequence[Any]) -> List[MatchResult]:
+        """Match several publications at once, one result per publication.
+
+        Defined to equal ``[self.match(i, p) for i, p in zip(...)]`` — the
+        default delegates to :meth:`match` so every backend (including the
+        sampled one, whose per-publication RNG draws must stay in sequence
+        order) is batch-callable; :class:`ExactBackend` overrides it with
+        the wrapped library's vectorized batch kernel.
+        """
+        return [self.match(pub_id, payload) for pub_id, payload in zip(pub_ids, payloads)]
+
     @abstractmethod
     def subscription_count(self) -> int:
         """Number of stored subscriptions (drives the matching CPU cost)."""
@@ -90,6 +101,12 @@ class ExactBackend(MatchingBackend):
     def match(self, pub_id: int, payload: Any) -> MatchResult:
         ids = self.library.match(payload)
         return MatchResult(count=len(ids), ids=ids)
+
+    def match_batch(self, pub_ids: Sequence[int], payloads: Sequence[Any]) -> List[MatchResult]:
+        return [
+            MatchResult(count=len(ids), ids=ids)
+            for ids in self.library.match_batch(payloads)
+        ]
 
     def subscription_count(self) -> int:
         return self.library.subscription_count()

@@ -11,7 +11,7 @@ independence from the filtering model.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Sequence
 
 __all__ = ["FilteringLibrary"]
 
@@ -30,6 +30,16 @@ class FilteringLibrary(ABC):
     @abstractmethod
     def match(self, publication_data: Any) -> List[int]:
         """Ids of stored subscriptions whose filter matches the publication."""
+
+    def match_batch(self, publications: Sequence[Any]) -> List[List[int]]:
+        """Match several publications at once: one id list per publication.
+
+        Results are defined to equal ``[self.match(p) for p in publications]``
+        — implementations may override this default with a vectorized kernel
+        (ASPE evaluates the whole batch as one matrix-matrix product) but
+        must preserve the per-publication decisions and their order.
+        """
+        return [self.match(publication) for publication in publications]
 
     @abstractmethod
     def subscription_count(self) -> int:

@@ -72,20 +72,51 @@ class _AttributeIndex:
     * ``<``/``<=`` predicates are satisfied when ``constant > v`` (or >=),
     * ``>``/``>=`` when ``constant < v`` (or <=),
     * ``=`` when ``constant == v``.
+
+    Removal is *lazy*: a discarded subscription is tombstoned in a dead
+    set and its entries filtered out of scan hits, so a remove is O(1)
+    instead of rebuilding every op list.  Dead entries are purged when
+    they outnumber the live ones (amortized O(1) per removal) or when a
+    tombstoned subscription id is re-added (the stale entries would
+    shadow the fresh ones otherwise).
     """
 
     def __init__(self) -> None:
         # op -> sorted list of (constant, sub_id, predicate_index)
         self._by_op: Dict[Op, List[Tuple[float, int, int]]] = {op: [] for op in Op}
         self._dirty = False
+        #: Tombstoned subscription ids and how many entries they left behind.
+        self._dead: set = set()
+        self._dead_entries = 0
+        self._total_entries = 0
+        #: Purges performed (regression instrumentation for churn tests).
+        self.purge_count = 0
 
     def add(self, constant: float, sub_id: int, pred_index: int, op: Op) -> None:
+        if sub_id in self._dead:
+            # Stale tombstoned entries of this id are still in the lists;
+            # purge now so they cannot shadow the fresh ones.
+            self._purge()
         self._by_op[op].append((constant, sub_id, pred_index))
+        self._total_entries += 1
         self._dirty = True
 
-    def discard_subscription(self, sub_id: int) -> None:
+    def discard_subscription(self, sub_id: int, entry_count: int) -> None:
+        """Tombstone ``sub_id``, which owns ``entry_count`` entries here."""
+        if entry_count <= 0:
+            return
+        self._dead.add(sub_id)
+        self._dead_entries += entry_count
+        if self._dead_entries > self._total_entries - self._dead_entries:
+            self._purge()
+
+    def _purge(self) -> None:
         for op, entries in self._by_op.items():
-            self._by_op[op] = [e for e in entries if e[1] != sub_id]
+            self._by_op[op] = [e for e in entries if e[1] not in self._dead]
+        self._total_entries -= self._dead_entries
+        self._dead.clear()
+        self._dead_entries = 0
+        self.purge_count += 1
 
     def _ensure_sorted(self) -> None:
         if self._dirty:
@@ -94,33 +125,40 @@ class _AttributeIndex:
             self._dirty = False
 
     def satisfied(self, value: float) -> List[Tuple[int, int]]:
-        """(sub_id, predicate_index) of all predicates satisfied by value."""
+        """(sub_id, predicate_index) of all live predicates satisfied by value."""
         self._ensure_sorted()
         hits: List[Tuple[int, int]] = []
+        dead = self._dead
         key = (value, sys.maxsize, sys.maxsize)
 
         lt = self._by_op[Op.LT]
         # value < constant  ⇒  constants strictly greater than value.
         for constant, sub_id, idx in lt[bisect.bisect_right(lt, key):]:
-            hits.append((sub_id, idx))
+            if sub_id not in dead:
+                hits.append((sub_id, idx))
         le = self._by_op[Op.LE]
         for constant, sub_id, idx in le[bisect.bisect_left(le, (value, -1, -1)):]:
-            hits.append((sub_id, idx))
+            if sub_id not in dead:
+                hits.append((sub_id, idx))
         gt = self._by_op[Op.GT]
         for constant, sub_id, idx in gt[: bisect.bisect_left(gt, (value, -1, -1))]:
-            hits.append((sub_id, idx))
+            if sub_id not in dead:
+                hits.append((sub_id, idx))
         ge = self._by_op[Op.GE]
         for constant, sub_id, idx in ge[: bisect.bisect_right(ge, key)]:
-            hits.append((sub_id, idx))
+            if sub_id not in dead:
+                hits.append((sub_id, idx))
         eq = self._by_op[Op.EQ]
         lo = bisect.bisect_left(eq, (value, -1, -1))
         hi = bisect.bisect_right(eq, key)
         for constant, sub_id, idx in eq[lo:hi]:
-            hits.append((sub_id, idx))
+            if sub_id not in dead:
+                hits.append((sub_id, idx))
         return hits
 
     def entry_count(self) -> int:
-        return sum(len(v) for v in self._by_op.values())
+        """Live entries (tombstoned ones are already semantically gone)."""
+        return self._total_entries - self._dead_entries
 
 
 class CountingIndexLibrary(FilteringLibrary):
@@ -142,10 +180,15 @@ class CountingIndexLibrary(FilteringLibrary):
 
     def remove(self, sub_id: int) -> None:
         predicate_set = self._subs.pop(sub_id)  # KeyError if unknown
+        per_attribute: Dict[int, int] = {}
         for predicate in predicate_set:
-            index = self._indices.get(predicate.attribute)
+            per_attribute[predicate.attribute] = (
+                per_attribute.get(predicate.attribute, 0) + 1
+            )
+        for attribute, count in per_attribute.items():
+            index = self._indices.get(attribute)
             if index is not None:
-                index.discard_subscription(sub_id)
+                index.discard_subscription(sub_id, count)
 
     def match(self, publication_data: Sequence[float]) -> List[int]:
         counts: Dict[int, int] = {}

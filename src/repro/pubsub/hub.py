@@ -48,10 +48,18 @@ class HubConfig:
     cost_model: CostModel = field(default_factory=CostModel)
     #: Per-M-slice matching backend factory (index → backend).
     backend_factory: Optional[Callable[[int], MatchingBackend]] = None
+    #: Max consecutively queued publications an M slice coalesces into one
+    #: batched backend call (1 = no coalescing, the default).  Batching
+    #: charges the same summed CPU cost and emits identical match lists in
+    #: identical order, but collapses backend calls — worthwhile with
+    #: exact (vectorized) backends under publication backlogs.
+    matcher_batch_limit: int = 1
 
     def __post_init__(self):
         if min(self.ap_slices, self.m_slices, self.ep_slices, self.sink_slices) <= 0:
             raise ValueError("slice counts must be positive")
+        if self.matcher_batch_limit <= 0:
+            raise ValueError("matcher_batch_limit must be positive")
 
     @classmethod
     def sampled(cls, matching_rate: float = 0.01, **kwargs) -> "HubConfig":
@@ -123,6 +131,7 @@ class StreamHub:
                 cost_model,
                 encrypted=config.encrypted,
                 exit_operator=self.EP,
+                batch_limit=config.matcher_batch_limit,
             ),
             parallelism=config.parallelism,
             replay_dedup=False,

@@ -86,13 +86,21 @@ class MatcherHandler(SliceHandler):
         cost_model: CostModel,
         encrypted: bool = True,
         exit_operator: str = "EP",
+        batch_limit: int = 1,
     ):
+        if batch_limit <= 0:
+            raise ValueError("batch_limit must be positive")
         self.slice_index = slice_index
         self.backend = backend
         self.cost_model = cost_model
         self.encrypted = encrypted
         self.exit_operator = exit_operator
+        #: Max consecutively queued publications coalesced into one
+        #: backend ``match_batch`` call (1 = no coalescing).
+        self.batch_limit = batch_limit
         self.publications_matched = 0
+        #: Publications that arrived in coalesced batches of size > 1.
+        self.publications_batched = 0
         #: sub_id → subscriber, resolved when emitting match lists.
         self._subscribers: Dict[int, int] = {}
 
@@ -107,6 +115,14 @@ class MatcherHandler(SliceHandler):
         # Matching only reads the subscription store; storing mutates it.
         return "R" if event.kind == KIND_PUBLICATION else "W"
 
+    def coalesce_limit(self, event: StreamEvent) -> int:
+        # Only publications coalesce: they share the "R" lock mode and map
+        # onto one vectorized match_batch call.
+        return self.batch_limit if event.kind == KIND_PUBLICATION else 1
+
+    def coalesce_with(self, head: StreamEvent, candidate: StreamEvent) -> bool:
+        return candidate.kind == KIND_PUBLICATION
+
     def process(self, event: StreamEvent, ctx: SliceContext) -> None:
         if event.kind == KIND_SUBSCRIPTION:
             subscription: Subscription = event.payload
@@ -115,28 +131,50 @@ class MatcherHandler(SliceHandler):
         elif event.kind == KIND_PUBLICATION:
             publication: Publication = event.payload
             result = self.backend.match(publication.pub_id, publication.payload)
-            ids: Optional[Tuple[int, ...]] = None
-            if result.ids is not None:
-                ids = tuple(
-                    self._subscribers.get(sub_id, sub_id) for sub_id in result.ids
-                )
-            match_list = MatchList(
-                pub_id=publication.pub_id,
-                m_slice=self.slice_index,
-                count=result.count,
-                subscriber_ids=ids,
-                published_at=publication.published_at,
-            )
-            ctx.emit(
-                self.exit_operator,
-                KIND_MATCH_LIST,
-                match_list,
-                self.cost_model.match_list_bytes(result.count),
-                key=publication.pub_id,
-            )
-            self.publications_matched += 1
+            self._emit_match(publication, result, ctx)
         else:
             raise ValueError(f"M cannot handle event kind {event.kind!r}")
+
+    def process_batch(self, events, ctx: SliceContext) -> None:
+        """Match a coalesced run of publications in one backend call.
+
+        Match lists are emitted per publication, in the events' queued
+        order, so the EP join and all cost/delay accounting observe the
+        exact event stream a non-batched matcher would have produced.
+        """
+        publications = [event.payload for event in events]
+        results = self.backend.match_batch(
+            [publication.pub_id for publication in publications],
+            [publication.payload for publication in publications],
+        )
+        for publication, result in zip(publications, results):
+            self._emit_match(publication, result, ctx)
+        if len(events) > 1:
+            self.publications_batched += len(events)
+
+    def _emit_match(
+        self, publication: Publication, result, ctx: SliceContext
+    ) -> None:
+        ids: Optional[Tuple[int, ...]] = None
+        if result.ids is not None:
+            ids = tuple(
+                self._subscribers.get(sub_id, sub_id) for sub_id in result.ids
+            )
+        match_list = MatchList(
+            pub_id=publication.pub_id,
+            m_slice=self.slice_index,
+            count=result.count,
+            subscriber_ids=ids,
+            published_at=publication.published_at,
+        )
+        ctx.emit(
+            self.exit_operator,
+            KIND_MATCH_LIST,
+            match_list,
+            self.cost_model.match_list_bytes(result.count),
+            key=publication.pub_id,
+        )
+        self.publications_matched += 1
 
     def preload(self, subscription: Subscription) -> None:
         """Install a subscription directly, bypassing the pipeline.

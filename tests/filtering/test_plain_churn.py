@@ -1,0 +1,96 @@
+"""Churn regression tests for the counting index's lazy removals.
+
+`_AttributeIndex.discard_subscription` used to rebuild every op list on
+each removal (O(total entries) per remove).  It now tombstones lazily and
+purges only when dead entries outnumber live ones — these tests pin the
+correctness of the tombstone filtering and the amortized purge behavior.
+"""
+
+import random
+
+from repro.filtering import BruteForceLibrary, CountingIndexLibrary
+from repro.filtering.plain import _AttributeIndex
+from repro.filtering.predicates import Op, Predicate, PredicateSet
+
+
+def random_filter(rng):
+    predicates = []
+    for _ in range(rng.randint(1, 3)):
+        attribute = rng.randrange(4)
+        op = rng.choice([Op.LT, Op.LE, Op.GT, Op.GE, Op.EQ])
+        predicates.append(Predicate(attribute, op, rng.uniform(0.0, 1000.0)))
+    return PredicateSet.of(*predicates)
+
+
+def test_removal_is_lazy_until_dead_dominate():
+    index = _AttributeIndex()
+    for sub_id in range(100):
+        index.add(float(sub_id), sub_id, 0, Op.LE)
+    assert index.entry_count() == 100
+    # Removing a minority tombstones without purging.
+    for sub_id in range(40):
+        index.discard_subscription(sub_id, 1)
+    assert index.purge_count == 0
+    assert index.entry_count() == 60
+    # Tombstoned entries no longer appear in scans.
+    hits = {sub_id for sub_id, _ in index.satisfied(0.0)}
+    assert hits == set(range(40, 100))
+    # Crossing the half-dead threshold triggers exactly one purge.
+    for sub_id in range(40, 61):
+        index.discard_subscription(sub_id, 1)
+    assert index.purge_count == 1
+    assert index.entry_count() == 39
+
+
+def test_readding_tombstoned_id_purges_stale_entries():
+    index = _AttributeIndex()
+    index.add(10.0, 7, 0, Op.LE)
+    index.add(20.0, 8, 0, Op.LE)
+    index.discard_subscription(7, 1)
+    # Re-adding id 7 with a different constant must not resurrect the old
+    # 10.0 entry.
+    index.add(500.0, 7, 0, Op.LE)
+    hits = sorted(index.satisfied(15.0))
+    assert hits == [(7, 0), (8, 0)]
+    assert (7, 0) not in index.satisfied(600.0)
+
+
+def test_counting_index_matches_brute_force_through_churn():
+    rng = random.Random(31)
+    filters = [random_filter(rng) for _ in range(400)]
+    index = CountingIndexLibrary()
+    reference = BruteForceLibrary()
+    for sub_id, predicate_set in enumerate(filters):
+        index.store(sub_id, predicate_set)
+        reference.store(sub_id, predicate_set)
+    stored = set(range(400))
+    for step in range(2500):
+        sub_id = rng.randrange(400)
+        if sub_id in stored:
+            index.remove(sub_id)
+            reference.remove(sub_id)
+            stored.discard(sub_id)
+        else:
+            index.store(sub_id, filters[sub_id])
+            reference.store(sub_id, filters[sub_id])
+            stored.add(sub_id)
+        if step % 250 == 0:
+            publication = [rng.uniform(0.0, 1000.0) for _ in range(4)]
+            assert sorted(index.match(publication)) == sorted(
+                reference.match(publication)
+            )
+    assert index.subscription_count() == len(stored)
+
+
+def test_state_roundtrip_after_churn():
+    rng = random.Random(32)
+    library = CountingIndexLibrary()
+    filters = [random_filter(rng) for _ in range(50)]
+    for sub_id, predicate_set in enumerate(filters):
+        library.store(sub_id, predicate_set)
+    for sub_id in range(0, 50, 2):
+        library.remove(sub_id)
+    clone = CountingIndexLibrary()
+    clone.import_state(library.export_state())
+    publication = [rng.uniform(0.0, 1000.0) for _ in range(4)]
+    assert sorted(clone.match(publication)) == sorted(library.match(publication))
