@@ -110,10 +110,10 @@ def test_batch_match_vs_single(benchmark, report):
         report(f"ASPE batch matching ({PUBLICATIONS} publications in one call)")
         report(f"  sequential match: {RESULTS['single_mean_s'] * 1000:8.2f} ms")
         report(f"  match_batch     : {RESULTS['batch_mean_s'] * 1000:8.2f} ms")
-        report(f"  speedup         : {ratio:8.2f}x")
-        # One matrix-matrix product must not lose to twenty matrix-vector
-        # products (generous slack: both paths are fast and jittery).
-        assert RESULTS["batch_mean_s"] < RESULTS["single_mean_s"] * 1.5
+        report(f"  speedup         : {ratio:8.2f}x (acceptance floor: 1x)")
+        # One matrix-matrix product over reused workspace buffers must
+        # beat twenty matrix-vector products, not just tie them.
+        assert ratio >= 1.0
 
 
 def test_store_remove_churn(benchmark, report):

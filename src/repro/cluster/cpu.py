@@ -77,8 +77,9 @@ class CpuScheduler:
             self._waiting.append(grant)
             yield grant  # the releasing task hands the core over directly
         start = self.env.now
+        timeout = self.env.pooled_timeout(cpu_seconds)
         try:
-            yield self.env.timeout(cpu_seconds)
+            yield timeout
         finally:
             held = self.env.now - start
             self._busy_total += held
@@ -88,6 +89,10 @@ class CpuScheduler:
                 self._waiting.popleft().succeed()
             else:
                 self._in_use -= 1
+        # Reached only on normal completion: an interrupted waiter leaves
+        # the timeout scheduled, where recycling would be unsafe (recycle
+        # double-checks, but don't even offer it).
+        self.env.recycle_timeout(timeout)
 
     def busy_core_seconds(self) -> float:
         """Total busy core-seconds accumulated by *completed* holds so far.

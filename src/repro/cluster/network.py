@@ -21,7 +21,7 @@ loopback latency.
 from __future__ import annotations
 
 import zlib
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Sequence
 
 from ..sim import Environment
 
@@ -36,6 +36,8 @@ class NicStats:
         self.bytes_received = 0
         self.messages_sent = 0
         self.messages_received = 0
+        #: Batched group transfers sent (each carries >= 1 messages).
+        self.batches_sent = 0
 
     def snapshot(self) -> "NicStats":
         copy = NicStats()
@@ -43,6 +45,7 @@ class NicStats:
         copy.bytes_received = self.bytes_received
         copy.messages_sent = self.messages_sent
         copy.messages_received = self.messages_received
+        copy.batches_sent = self.batches_sent
         return copy
 
 
@@ -124,21 +127,59 @@ class Network:
         src_stats = self.stats(src)
         src_stats.bytes_sent += size_bytes
         src_stats.messages_sent += 1
-
-        if src == dst:
-            arrival = now + self.loopback_latency
-        else:
-            serialization = size_bytes / self.bandwidth
-            free_at = self._nic_free_at.get(src, now)
-            departure = max(self._next_flush(src, now), free_at) + serialization
-            if src in self._nic_free_at:
-                # Attached senders occupy their NIC FIFO; external clients
-                # (not attached) only pay their own serialization time.
-                self._nic_free_at[src] = departure
-            arrival = departure + self.latency
-
+        arrival = self._arrival_time(src, dst, size_bytes, now)
         self.env.call_later(arrival - now, self._deliver, dst, size_bytes, payload, deliver)
         return arrival
+
+    def send_batch(
+        self,
+        src: str,
+        dst: str,
+        sizes: Sequence[int],
+        payloads: Sequence[Any],
+        deliver: Callable[[Any], None],
+    ) -> float:
+        """Send a group of messages as *one* batched transfer.
+
+        The group occupies the sender's NIC for the summed serialization
+        time and pays the propagation latency once; every payload is
+        delivered in order at the same arrival time.  FIFO ordering with
+        surrounding :meth:`send` calls is preserved through the shared NIC
+        watermark.  Byte/message counters account each message of the
+        group individually; ``batches_sent`` counts the group once.
+        """
+        if len(sizes) != len(payloads):
+            raise ValueError("sizes and payloads must have the same length")
+        if not payloads:
+            raise ValueError("cannot send an empty batch")
+        total = 0
+        for size_bytes in sizes:
+            if size_bytes < 0:
+                raise ValueError("size_bytes must be non-negative")
+            total += size_bytes
+        now = self.env.now
+        src_stats = self.stats(src)
+        src_stats.bytes_sent += total
+        src_stats.messages_sent += len(payloads)
+        src_stats.batches_sent += 1
+        arrival = self._arrival_time(src, dst, total, now)
+        self.env.call_later(
+            arrival - now, self._deliver_batch, dst, total, payloads, deliver
+        )
+        return arrival
+
+    def _arrival_time(self, src: str, dst: str, size_bytes: int, now: float) -> float:
+        """Arrival time of one transfer, advancing the sender's NIC FIFO."""
+        if src == dst:
+            return now + self.loopback_latency
+        serialization = size_bytes / self.bandwidth
+        free_at = self._nic_free_at.get(src, now)
+        departure = max(self._next_flush(src, now), free_at) + serialization
+        if src in self._nic_free_at:
+            # Attached senders occupy their NIC FIFO; external clients
+            # (not attached) only pay their own serialization time.
+            self._nic_free_at[src] = departure
+        return departure + self.latency
 
     def nic_busy_until(self, host_id: str) -> float:
         """Watermark until which the NIC of ``host_id`` is busy sending."""
@@ -163,3 +204,16 @@ class Network:
         dst_stats.bytes_received += size_bytes
         dst_stats.messages_received += 1
         deliver(payload)
+
+    def _deliver_batch(
+        self,
+        dst: str,
+        total_bytes: int,
+        payloads: Sequence[Any],
+        deliver: Callable[[Any], None],
+    ) -> None:
+        dst_stats = self.stats(dst)
+        dst_stats.bytes_received += total_bytes
+        dst_stats.messages_received += len(payloads)
+        for payload in payloads:
+            deliver(payload)

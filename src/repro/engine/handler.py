@@ -51,6 +51,16 @@ class SliceContext:
         """Send a copy to every slice of ``operator``."""
         self._runtime.route(self.slice_id, operator, kind, payload, size_bytes, BROADCAST)
 
+    def emit_batch(self, emissions) -> None:
+        """Send many emissions at once, micro-batched per destination slice.
+
+        ``emissions`` is a sequence of ``(operator, kind, payload,
+        size_bytes, key)`` tuples (``key`` may be :data:`BROADCAST`).
+        Equivalent to calling :meth:`emit` per tuple, but all events bound
+        for the same destination slice share one network transfer.
+        """
+        self._runtime.route_batch(self.slice_id, emissions)
+
     def slice_index(self) -> int:
         """Index of this slice within its operator."""
         return int(self.slice_id.split(":", 1)[1])

@@ -15,7 +15,7 @@ duplicated to the destination instance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster import Host, Network
 from ..sim import Environment
@@ -200,14 +200,7 @@ class EngineRuntime:
             indices = (int(key) % info.slice_count,)
         src_host = self._source_host_id(source_key)
         now = self.env.now
-        # A recovering source regenerates emissions it already made before
-        # the crash; flag them so receivers deduplicate (see recovery.py).
-        src_logical = self.slices.get(source_key)
-        replayed = bool(
-            src_logical is not None
-            and src_logical.active is not None
-            and src_logical.active.recovering
-        )
+        replayed = self._replaying(source_key)
         for index in indices:
             logical = self.slices[f"{operator}:{index}"]
             if logical.active is None:
@@ -227,6 +220,74 @@ class EngineRuntime:
                     event,
                     instance.deliver,
                 )
+
+    def route_batch(
+        self,
+        source_key: str,
+        emissions: Sequence[Tuple[str, str, Any, int, Any]],
+    ) -> None:
+        """Route a batch of emissions, one transfer per destination group.
+
+        ``emissions`` is a sequence of ``(operator, kind, payload,
+        size_bytes, key)`` tuples in emission order (``key`` may be
+        ``BROADCAST``).  Semantically equivalent to calling :meth:`route`
+        once per tuple — identical destinations, sequence numbers,
+        retention records and migration duplication — except that all
+        events of the batch headed for the same destination logical slice
+        travel as *one* simulated transfer (one latency charge, summed
+        bandwidth cost; see ``Network.send_batch``), the per-sender
+        channel micro-batching the paper's engine uses for throughput.
+        Per-(source, destination) FIFO order is preserved: events of a
+        group arrive in emission order, and the shared NIC watermark
+        orders the groups themselves.
+        """
+        if not emissions:
+            return
+        src_host = self._source_host_id(source_key)
+        now = self.env.now
+        replayed = self._replaying(source_key)
+        by_dst = self._next_seq_by_src.setdefault(source_key, {})
+        groups: Dict[str, List[StreamEvent]] = {}
+        for operator, kind, payload, size_bytes, key in emissions:
+            info = self.operators.get(operator)
+            if info is None:
+                raise KeyError(f"unknown operator {operator!r}")
+            if key is BROADCAST:
+                indices = range(info.slice_count)
+            else:
+                indices = (int(key) % info.slice_count,)
+            for index in indices:
+                logical = self.slices[f"{operator}:{index}"]
+                if logical.active is None:
+                    raise RuntimeError(f"slice {logical.id} is not deployed")
+                seq = by_dst.get(logical.id, 0)
+                by_dst[logical.id] = seq + 1
+                event = StreamEvent(
+                    kind, payload, source_key, seq, size_bytes, now, replayed
+                )
+                if self.retention is not None:
+                    self.retention.record(source_key, logical.id, event)
+                groups.setdefault(logical.id, []).append(event)
+        for dest_id, events in groups.items():
+            self._next_seq_by_dst.setdefault(dest_id, {})[source_key] = by_dst[dest_id]
+            logical = self.slices[dest_id]
+            for instance in logical.instances():
+                if len(events) == 1:
+                    self.network.send(
+                        src_host,
+                        instance.host.host_id,
+                        events[0].size_bytes,
+                        events[0],
+                        instance.deliver,
+                    )
+                else:
+                    self.network.send_batch(
+                        src_host,
+                        instance.host.host_id,
+                        [event.size_bytes for event in events],
+                        events,
+                        instance.deliver,
+                    )
 
     def inject(
         self,
@@ -300,3 +361,13 @@ class EngineRuntime:
         if logical is not None and logical.active is not None:
             return logical.active.host.host_id
         return f"ext:{source_key}"
+
+    def _replaying(self, source_key: str) -> bool:
+        # A recovering source regenerates emissions it already made before
+        # the crash; flag them so receivers deduplicate (see recovery.py).
+        logical = self.slices.get(source_key)
+        return bool(
+            logical is not None
+            and logical.active is not None
+            and logical.active.recovering
+        )

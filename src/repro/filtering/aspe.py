@@ -246,6 +246,13 @@ class AspeLibrary(FilteringLibrary):
         #: Per-row ``_REL_TOL · (‖q̂‖ + 1)``; the decision tolerance is this
         #: times the publication's scale factor.
         self._tol_base: Optional[np.ndarray] = None
+        #: Sign-folded tolerance base: ``+tol_base`` for strict rows,
+        #: ``−tol_base`` for non-strict ones.  Folding the decision side
+        #: into the sign is exact (IEEE negation commutes with scaling:
+        #: ``s·(−a) == −(s·a)`` bit-for-bit) and lets :meth:`match_batch`
+        #: evaluate all rows with one comparison pass instead of a
+        #: strict/non-strict ``np.where`` over two full comparisons.
+        self._tol_signed: Optional[np.ndarray] = None
         self._alive: Optional[np.ndarray] = None
         self._rows = 0  # buffer rows in use (live + tombstoned)
         self._dead_rows = 0
@@ -255,6 +262,12 @@ class AspeLibrary(FilteringLibrary):
         self._index: Optional[
             Tuple[List[int], np.ndarray, np.ndarray, np.ndarray]
         ] = None
+        #: Reusable scratch buffers for :meth:`match_batch` (name → flat
+        #: array).  The batch temporaries are large enough (B × rows) to
+        #: defeat numpy's small-allocation cache; reusing them removes the
+        #: per-call mmap churn that made batching slower than the
+        #: single-publication path.
+        self._ws: Dict[str, np.ndarray] = {}
         # Instrumentation: churn benchmarks assert store/remove stays
         # incremental (appends, occasional compactions, no full repacks).
         self.rows_appended = 0
@@ -321,15 +334,36 @@ class AspeLibrary(FilteringLibrary):
             return [list(ids) for _ in publications]
         batch = np.stack([p.vector for p in publications])  # (B, n)
         rows = self._rows
+        count = batch.shape[0]
         # Publication-major layout: every downstream reduction then runs
-        # over contiguous per-publication rows.
-        products = batch @ self._matrix[:rows].T  # (B, rows)
-        scales = np.linalg.norm(batch, axis=1) + 1.0
-        tolerances = scales[:, None] * self._tol_base[None, :rows]
-        strict = self._strict[None, :rows]
-        satisfied = np.where(strict, products > tolerances, products >= -tolerances)
-        ok = self._reduce_spans(satisfied, starts, stops)
-        result = np.ones((len(publications), len(ids)), dtype=bool)
+        # over contiguous per-publication rows.  All (B × rows) temporaries
+        # come from the reusable workspace and every ufunc writes in place
+        # — per-call allocation is what made batching lose to the cached
+        # single-publication path.
+        products = self._workspace("products", (count, rows), np.float64)
+        np.matmul(batch, self._matrix[:rows].T, out=products)
+        scales = np.linalg.norm(batch, axis=1)
+        scales += 1.0
+        thresholds = self._workspace("thresholds", (count, rows), np.float64)
+        np.multiply(scales[:, None], self._tol_signed[None, :rows], out=thresholds)
+        # Strict rows require product > scale·tol_base; non-strict rows
+        # product ≥ −scale·tol_base.  With the sign folded into the
+        # threshold both become "product > threshold", plus boundary
+        # equality for the non-strict rows only.
+        satisfied = self._workspace("satisfied", (count, rows), np.bool_)
+        np.greater(products, thresholds, out=satisfied)
+        boundary = self._workspace("boundary", (count, rows), np.bool_)
+        np.equal(products, thresholds, out=boundary)
+        np.logical_and(boundary, ~self._strict[None, :rows], out=boundary)
+        np.logical_or(satisfied, boundary, out=satisfied)
+        # Span conjunction via exclusive prefix sums of unsatisfied rows
+        # (see _reduce_spans), with the prefix buffer reused across calls.
+        np.logical_not(satisfied, out=boundary)
+        prefix = self._workspace("prefix", (count, rows + 1), np.int32)
+        prefix[:, 0] = 0
+        np.cumsum(boundary, axis=1, out=prefix[:, 1:])
+        ok = (prefix[:, stops] - prefix[:, starts]) == 0
+        result = np.ones((count, len(ids)), dtype=bool)
         result[:, positions] = ok
         return [[ids[i] for i in np.nonzero(row)[0]] for row in result]
 
@@ -347,7 +381,7 @@ class AspeLibrary(FilteringLibrary):
     def import_state(self, state: Dict[int, EncryptedSubscription]) -> None:
         self._subs = {}
         self._matrix = None
-        self._strict = self._tol_base = self._alive = None
+        self._strict = self._tol_base = self._tol_signed = self._alive = None
         self._rows = 0
         self._dead_rows = 0
         self._spans = {}
@@ -358,6 +392,17 @@ class AspeLibrary(FilteringLibrary):
         self.full_pack_count += 1
 
     # -- packed-state maintenance ---------------------------------------------
+
+    def _workspace(self, name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """A reusable scratch array of ``shape``/``dtype`` (contents stale)."""
+        size = 1
+        for extent in shape:
+            size *= extent
+        buffer = self._ws.get(name)
+        if buffer is None or buffer.size < size or buffer.dtype != dtype:
+            buffer = np.empty(max(size, 1), dtype=dtype)
+            self._ws[name] = buffer
+        return buffer[:size].reshape(shape)
 
     def _decide_rows(self, products, tolerances):
         """Vectorized :func:`_decide` over the (direction-folded) rows."""
@@ -399,7 +444,9 @@ class AspeLibrary(FilteringLibrary):
             else:
                 block[offset] = predicate.vector
             self._strict[start + offset] = _OP_STRICT[predicate.op_code]
-        self._tol_base[start:stop] = _REL_TOL * (np.linalg.norm(block, axis=1) + 1.0)
+        base = _REL_TOL * (np.linalg.norm(block, axis=1) + 1.0)
+        self._tol_base[start:stop] = base
+        self._tol_signed[start:stop] = np.where(self._strict[start:stop], base, -base)
         self._alive[start:stop] = True
         self._rows = stop
         self._spans[sub_id] = (start, stop)
@@ -411,6 +458,7 @@ class AspeLibrary(FilteringLibrary):
             self._matrix = np.empty((capacity, width))
             self._strict = np.zeros(capacity, dtype=bool)
             self._tol_base = np.empty(capacity)
+            self._tol_signed = np.empty(capacity)
             self._alive = np.zeros(capacity, dtype=bool)
             return
         if width != self._matrix.shape[1]:
@@ -427,9 +475,10 @@ class AspeLibrary(FilteringLibrary):
         grown = np.empty((capacity, width))
         grown[: self._rows] = self._matrix[: self._rows]
         self._matrix = grown
-        buffer = np.empty(capacity)
-        buffer[: self._rows] = self._tol_base[: self._rows]
-        self._tol_base = buffer
+        for name in ("_tol_base", "_tol_signed"):
+            buffer = np.empty(capacity)
+            buffer[: self._rows] = getattr(self, name)[: self._rows]
+            setattr(self, name, buffer)
         for name in ("_strict", "_alive"):
             buffer = np.zeros(capacity, dtype=bool)
             buffer[: self._rows] = getattr(self, name)[: self._rows]
@@ -461,6 +510,7 @@ class AspeLibrary(FilteringLibrary):
         self._matrix[: keep.size] = self._matrix[keep]
         self._strict[: keep.size] = self._strict[keep]
         self._tol_base[: keep.size] = self._tol_base[keep]
+        self._tol_signed[: keep.size] = self._tol_signed[keep]
         self._alive[: keep.size] = True
         self._alive[keep.size : rows] = False
         self._spans = {

@@ -54,12 +54,22 @@ class HubConfig:
     #: identical order, but collapses backend calls — worthwhile with
     #: exact (vectorized) backends under publication backlogs.
     matcher_batch_limit: int = 1
+    #: Max consecutively queued events an AP slice coalesces into one
+    #: routing pass with shared per-destination network transfers.
+    ap_batch_limit: int = 1
+    #: Max consecutively queued events an EP slice coalesces into one join
+    #: pass; completed notifications of a batch dispatch together.
+    ep_batch_limit: int = 1
 
     def __post_init__(self):
         if min(self.ap_slices, self.m_slices, self.ep_slices, self.sink_slices) <= 0:
             raise ValueError("slice counts must be positive")
         if self.matcher_batch_limit <= 0:
             raise ValueError("matcher_batch_limit must be positive")
+        if self.ap_batch_limit <= 0:
+            raise ValueError("ap_batch_limit must be positive")
+        if self.ep_batch_limit <= 0:
+            raise ValueError("ep_batch_limit must be positive")
 
     @classmethod
     def sampled(cls, matching_rate: float = 0.01, **kwargs) -> "HubConfig":
@@ -118,7 +128,11 @@ class StreamHub:
         self.runtime.add_operator(
             self.AP,
             config.ap_slices,
-            lambda index: AccessPointHandler(cost_model, matching_operator=self.M),
+            lambda index: AccessPointHandler(
+                cost_model,
+                matching_operator=self.M,
+                batch_limit=config.ap_batch_limit,
+            ),
             parallelism=config.parallelism,
             replay_dedup=False,
         )
@@ -144,6 +158,7 @@ class StreamHub:
                 m_slice_count=config.m_slices,
                 own_operator=self.EP,
                 sink_operator=self.SINK,
+                batch_limit=config.ep_batch_limit,
             ),
             parallelism=config.parallelism,
             replay_dedup=False,

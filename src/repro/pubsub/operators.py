@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..engine import SliceContext, SliceHandler, StreamEvent
+from ..engine import BROADCAST, SliceContext, SliceHandler, StreamEvent
 from ..filtering import CostModel, MatchingBackend
 from .messages import MatchList, Notification, Publication, Subscription
 
@@ -43,37 +43,75 @@ KIND_NOTIFICATION = "notification"
 class AccessPointHandler(SliceHandler):
     """AP operator: stateless subscription partitioning / pub broadcast."""
 
-    def __init__(self, cost_model: CostModel, matching_operator: str = "M"):
+    def __init__(
+        self,
+        cost_model: CostModel,
+        matching_operator: str = "M",
+        batch_limit: int = 1,
+    ):
+        if batch_limit <= 0:
+            raise ValueError("batch_limit must be positive")
         self.cost_model = cost_model
         self.matching_operator = matching_operator
+        #: Max consecutively queued events coalesced into one routing pass
+        #: whose emissions share per-destination network transfers.
+        self.batch_limit = batch_limit
         self.publications_routed = 0
         self.subscriptions_routed = 0
+        #: Events that arrived in coalesced batches of size > 1.
+        self.events_batched = 0
 
     def cost(self, event: StreamEvent) -> float:
         return self.cost_model.ap_event_s
 
+    def coalesce_limit(self, event: StreamEvent) -> int:
+        return self.batch_limit
+
+    def coalesce_with(self, head: StreamEvent, candidate: StreamEvent) -> bool:
+        # AP work is stateless and uniformly "R"-locked; any mix of
+        # subscriptions and publications may share a batch.
+        return candidate.kind in (KIND_SUBSCRIPTION, KIND_PUBLICATION)
+
     def process(self, event: StreamEvent, ctx: SliceContext) -> None:
+        operator, kind, payload, size_bytes, key = self._emission(event)
+        if key is BROADCAST:
+            ctx.emit_broadcast(operator, kind, payload, size_bytes)
+        else:
+            ctx.emit(operator, kind, payload, size_bytes, key=key)
+
+    def process_batch(self, events, ctx: SliceContext) -> None:
+        """Route a coalesced run of events with shared per-slice transfers.
+
+        Emissions keep the events' queued order, so destination slices
+        observe the exact sequence a non-batched AP would have produced;
+        only the number of simulated network transfers shrinks.
+        """
+        ctx.emit_batch([self._emission(event) for event in events])
+        if len(events) > 1:
+            self.events_batched += len(events)
+
+    def _emission(self, event: StreamEvent) -> Tuple[str, str, Any, int, Any]:
         if event.kind == KIND_SUBSCRIPTION:
             subscription: Subscription = event.payload
-            ctx.emit(
+            self.subscriptions_routed += 1
+            return (
                 self.matching_operator,
                 KIND_SUBSCRIPTION,
                 subscription,
                 self.cost_model.subscription_bytes,
-                key=subscription.sub_id,
+                subscription.sub_id,
             )
-            self.subscriptions_routed += 1
-        elif event.kind == KIND_PUBLICATION:
+        if event.kind == KIND_PUBLICATION:
             publication: Publication = event.payload
-            ctx.emit_broadcast(
+            self.publications_routed += 1
+            return (
                 self.matching_operator,
                 KIND_PUBLICATION,
                 publication,
                 self.cost_model.publication_bytes,
+                BROADCAST,
             )
-            self.publications_routed += 1
-        else:
-            raise ValueError(f"AP cannot handle event kind {event.kind!r}")
+        raise ValueError(f"AP cannot handle event kind {event.kind!r}")
 
 
 class MatcherHandler(SliceHandler):
@@ -131,30 +169,36 @@ class MatcherHandler(SliceHandler):
         elif event.kind == KIND_PUBLICATION:
             publication: Publication = event.payload
             result = self.backend.match(publication.pub_id, publication.payload)
-            self._emit_match(publication, result, ctx)
+            ctx.emit(*self._match_emission(publication, result))
         else:
             raise ValueError(f"M cannot handle event kind {event.kind!r}")
 
     def process_batch(self, events, ctx: SliceContext) -> None:
         """Match a coalesced run of publications in one backend call.
 
-        Match lists are emitted per publication, in the events' queued
-        order, so the EP join and all cost/delay accounting observe the
-        exact event stream a non-batched matcher would have produced.
+        Match lists keep the events' queued order and go out in one
+        micro-batched routing pass, so the EP join and all cost/delay
+        accounting observe the exact event stream a non-batched matcher
+        would have produced — only the backend call count and the number
+        of simulated network transfers shrink.
         """
         publications = [event.payload for event in events]
         results = self.backend.match_batch(
             [publication.pub_id for publication in publications],
             [publication.payload for publication in publications],
         )
-        for publication, result in zip(publications, results):
-            self._emit_match(publication, result, ctx)
+        ctx.emit_batch(
+            [
+                self._match_emission(publication, result)
+                for publication, result in zip(publications, results)
+            ]
+        )
         if len(events) > 1:
             self.publications_batched += len(events)
 
-    def _emit_match(
-        self, publication: Publication, result, ctx: SliceContext
-    ) -> None:
+    def _match_emission(
+        self, publication: Publication, result
+    ) -> Tuple[str, str, Any, int, Any]:
         ids: Optional[Tuple[int, ...]] = None
         if result.ids is not None:
             ids = tuple(
@@ -167,14 +211,14 @@ class MatcherHandler(SliceHandler):
             subscriber_ids=ids,
             published_at=publication.published_at,
         )
-        ctx.emit(
+        self.publications_matched += 1
+        return (
             self.exit_operator,
             KIND_MATCH_LIST,
             match_list,
             self.cost_model.match_list_bytes(result.count),
-            key=publication.pub_id,
+            publication.pub_id,
         )
-        self.publications_matched += 1
 
     def preload(self, subscription: Subscription) -> None:
         """Install a subscription directly, bypassing the pipeline.
@@ -213,16 +257,24 @@ class ExitPointHandler(SliceHandler):
         m_slice_count: int,
         own_operator: str = "EP",
         sink_operator: Optional[str] = "SINK",
+        batch_limit: int = 1,
     ):
         if m_slice_count <= 0:
             raise ValueError("m_slice_count must be positive")
+        if batch_limit <= 0:
+            raise ValueError("batch_limit must be positive")
         self.cost_model = cost_model
         self.m_slice_count = m_slice_count
         self.own_operator = own_operator
         self.sink_operator = sink_operator
+        #: Max consecutively queued events coalesced into one join pass;
+        #: completed notifications of the whole batch dispatch together.
+        self.batch_limit = batch_limit
         #: pub_id → [lists received, total matches, ids, published_at]
         self.pending: Dict[int, List[Any]] = {}
         self.notifications_sent = 0
+        #: Events that arrived in coalesced batches of size > 1.
+        self.events_batched = 0
 
     def cost(self, event: StreamEvent) -> float:
         if event.kind == KIND_MATCH_LIST:
@@ -236,15 +288,45 @@ class ExitPointHandler(SliceHandler):
         # Both joining and dispatch touch the pending table.
         return "W"
 
-    def process(self, event: StreamEvent, ctx: SliceContext) -> None:
-        if event.kind == KIND_MATCH_LIST:
-            self._join(event.payload, ctx)
-        elif event.kind == KIND_NOTIFY:
-            self._dispatch(event.payload, ctx)
-        else:
-            raise ValueError(f"EP cannot handle event kind {event.kind!r}")
+    def coalesce_limit(self, event: StreamEvent) -> int:
+        return self.batch_limit
 
-    def _join(self, match_list: MatchList, ctx: SliceContext) -> None:
+    def coalesce_with(self, head: StreamEvent, candidate: StreamEvent) -> bool:
+        # Everything the EP handles runs under the "W" lock; partial lists
+        # and self-addressed dispatch events may share a batch.
+        return candidate.kind in (KIND_MATCH_LIST, KIND_NOTIFY)
+
+    def process(self, event: StreamEvent, ctx: SliceContext) -> None:
+        emission = self._handle(event)
+        if emission is not None:
+            ctx.emit(*emission)
+
+    def process_batch(self, events, ctx: SliceContext) -> None:
+        """Join a coalesced run of events, dispatching completions together.
+
+        Partial lists accumulate across the whole batch before the
+        resulting emissions go out in one micro-batched routing pass; the
+        emissions keep the per-event order, so the downstream observes
+        the same content and sequence numbers as the per-event path.
+        """
+        emissions = []
+        for event in events:
+            emission = self._handle(event)
+            if emission is not None:
+                emissions.append(emission)
+        if emissions:
+            ctx.emit_batch(emissions)
+        if len(events) > 1:
+            self.events_batched += len(events)
+
+    def _handle(self, event: StreamEvent) -> Optional[Tuple[str, str, Any, int, Any]]:
+        if event.kind == KIND_MATCH_LIST:
+            return self._join(event.payload)
+        if event.kind == KIND_NOTIFY:
+            return self._dispatch(event.payload)
+        raise ValueError(f"EP cannot handle event kind {event.kind!r}")
+
+    def _join(self, match_list: MatchList) -> Optional[Tuple[str, str, Any, int, Any]]:
         entry = self.pending.get(match_list.pub_id)
         if entry is None:
             entry = [set(), 0, [] if match_list.subscriber_ids is not None else None,
@@ -254,41 +336,43 @@ class ExitPointHandler(SliceHandler):
             # Content-level idempotence: a duplicate delivery of the same
             # partial list (crash-recovery replay) is ignored, keyed by
             # the originating M slice.
-            return
+            return None
         entry[0].add(match_list.m_slice)
         entry[1] += match_list.count
         if entry[2] is not None and match_list.subscriber_ids is not None:
             entry[2].extend(match_list.subscriber_ids)
-        if len(entry[0]) == self.m_slice_count:
-            del self.pending[match_list.pub_id]
-            notification = Notification(
-                pub_id=match_list.pub_id,
-                count=entry[1],
-                subscriber_ids=tuple(entry[2]) if entry[2] is not None else None,
-                published_at=entry[3],
-            )
-            # Dispatching has its own CPU cost proportional to the number
-            # of notifications; route it through a self-addressed event so
-            # the engine charges it (same slice: key = pub_id).
-            ctx.emit(
-                self.own_operator,
-                KIND_NOTIFY,
-                notification,
-                self.cost_model.frame_bytes,
-                key=match_list.pub_id,
-            )
+        if len(entry[0]) < self.m_slice_count:
+            return None
+        del self.pending[match_list.pub_id]
+        notification = Notification(
+            pub_id=match_list.pub_id,
+            count=entry[1],
+            subscriber_ids=tuple(entry[2]) if entry[2] is not None else None,
+            published_at=entry[3],
+        )
+        # Dispatching has its own CPU cost proportional to the number
+        # of notifications; route it through a self-addressed event so
+        # the engine charges it (same slice: key = pub_id).
+        return (
+            self.own_operator,
+            KIND_NOTIFY,
+            notification,
+            self.cost_model.frame_bytes,
+            match_list.pub_id,
+        )
 
-    def _dispatch(self, notification: Notification, ctx: SliceContext) -> None:
-        if self.sink_operator is not None:
-            ctx.emit(
-                self.sink_operator,
-                KIND_NOTIFICATION,
-                notification,
-                self.cost_model.frame_bytes
-                + notification.count * self.cost_model.notification_bytes,
-                key=notification.pub_id,
-            )
+    def _dispatch(self, notification: Notification) -> Optional[Tuple[str, str, Any, int, Any]]:
         self.notifications_sent += notification.count
+        if self.sink_operator is None:
+            return None
+        return (
+            self.sink_operator,
+            KIND_NOTIFICATION,
+            notification,
+            self.cost_model.frame_bytes
+            + notification.count * self.cost_model.notification_bytes,
+            notification.pub_id,
+        )
 
     # -- migration state -----------------------------------------------------
 

@@ -15,6 +15,7 @@ from .core import (
     Event,
     Interrupt,
     Process,
+    ReusableTimeout,
     StopSimulation,
     Timeout,
     NORMAL,
@@ -38,6 +39,7 @@ __all__ = [
     "Release",
     "Request",
     "Resource",
+    "ReusableTimeout",
     "RngRegistry",
     "StopSimulation",
     "Store",

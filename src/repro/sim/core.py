@@ -20,6 +20,7 @@ __all__ = [
     "Environment",
     "Event",
     "Timeout",
+    "ReusableTimeout",
     "Process",
     "Interrupt",
     "AllOf",
@@ -151,6 +152,60 @@ class Timeout(Event):
         env.schedule(self, delay=delay)
 
 
+class ReusableTimeout(Event):
+    """A timeout event that can be re-armed after it has been processed.
+
+    Ordinary :class:`Timeout` objects are single-shot; hot loops that sleep
+    once per unit of work (the CPU scheduler charges one timeout per task)
+    would allocate one per iteration.  A reusable timeout is acquired from
+    the environment's pool (:meth:`Environment.pooled_timeout`), waited on
+    exactly like a timeout, and returned with
+    :meth:`Environment.recycle_timeout` once processed.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment"):
+        super().__init__(env)
+
+    def fire(self, delay: float, value: Any = None) -> "ReusableTimeout":
+        """(Re-)arm the timeout ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        if self.callbacks is None:
+            # Processed earlier: reset to a fresh pending event.
+            self.callbacks = []
+        elif self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} is still scheduled; cannot re-arm")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, delay=delay)
+        return self
+
+
+class _DeferredCall(Event):
+    """Pre-triggered event invoking a stored callable when processed.
+
+    Backs :meth:`Environment.call_later`; ``__slots__`` plus a bound-method
+    callback keep a deferred call down to a single small allocation (no
+    closure), which matters because the network schedules one per transfer.
+    """
+
+    __slots__ = ("_fn", "_args")
+
+    def __init__(self, env: "Environment", fn: Callable[..., Any], args, delay: float):
+        super().__init__(env)
+        self._fn = fn
+        self._args = args
+        self._ok = True
+        self._value = None
+        self.callbacks.append(self._invoke)
+        env.schedule(self, delay=delay)
+
+    def _invoke(self, _event: Event) -> None:
+        self._fn(*self._args)
+
+
 class Initialize(Event):
     """Starts a process when processed (scheduled urgently at creation)."""
 
@@ -196,6 +251,8 @@ class Process(Event):
     The process event triggers when the generator returns (value = return
     value) or raises (failure).
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
@@ -379,11 +436,15 @@ class AnyOf(Condition):
 class Environment:
     """The simulation environment: clock plus event queue."""
 
+    #: Upper bound on pooled reusable timeouts kept for reuse.
+    _TIMEOUT_POOL_LIMIT = 1024
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self._timeout_pool: List[ReusableTimeout] = []
 
     @property
     def now(self) -> float:
@@ -405,6 +466,26 @@ class Environment:
         """Create a :class:`Timeout` firing ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
+    def pooled_timeout(self, delay: float, value: Any = None) -> ReusableTimeout:
+        """Acquire an armed :class:`ReusableTimeout` from the pool.
+
+        Return it with :meth:`recycle_timeout` after waiting on it so hot
+        loops sleep without allocating a fresh event per iteration.
+        """
+        if self._timeout_pool:
+            return self._timeout_pool.pop().fire(delay, value)
+        return ReusableTimeout(self).fire(delay, value)
+
+    def recycle_timeout(self, timeout: ReusableTimeout) -> None:
+        """Return a *processed* pooled timeout for reuse.
+
+        A timeout that is still scheduled (e.g. its waiter was interrupted
+        and abandoned it in the queue) is silently dropped — re-arming it
+        while queued would corrupt the schedule.
+        """
+        if timeout.callbacks is None and len(self._timeout_pool) < self._TIMEOUT_POOL_LIMIT:
+            self._timeout_pool.append(timeout)
+
     def process(self, generator: Generator) -> Process:
         """Start a new :class:`Process` running ``generator``."""
         return Process(self, generator)
@@ -421,12 +502,7 @@ class Environment:
         A lightweight alternative to spawning a process: costs a single
         queue entry.  The returned event fires right before the call.
         """
-        event = Event(self)
-        event._ok = True
-        event._value = None
-        event.callbacks.append(lambda _ev: function(*args))
-        self.schedule(event, delay=delay)
-        return event
+        return _DeferredCall(self, function, args, delay)
 
     # -- scheduling and the event loop --------------------------------------
 

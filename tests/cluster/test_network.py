@@ -101,3 +101,63 @@ def test_invalid_parameters_rejected():
     net = make_net(env)
     with pytest.raises(ValueError):
         net.send("h1", "h2", -5, None, lambda p: None)
+
+
+def test_send_batch_single_latency_summed_bandwidth():
+    env = Environment()
+    net = make_net(env)
+    arrivals = []
+    arrival = net.send_batch(
+        "h1", "h2", [100, 200], ["a", "b"], lambda p: arrivals.append((env.now, p))
+    )
+    env.run()
+    # One transfer: (100 + 200) B / 100 B/s = 3 s serialization + 1 s
+    # latency, paid once; both payloads arrive together, in order.
+    assert arrival == pytest.approx(4.0)
+    assert arrivals == [(4.0, "a"), (4.0, "b")]
+
+
+def test_send_batch_accounting():
+    env = Environment()
+    net = make_net(env)
+    net.send_batch("h1", "h2", [100, 200], ["a", "b"], lambda p: None)
+    env.run()
+    assert net.stats("h1").bytes_sent == 300
+    assert net.stats("h1").messages_sent == 2
+    assert net.stats("h1").batches_sent == 1
+    assert net.stats("h2").bytes_received == 300
+    assert net.stats("h2").messages_received == 2
+    assert net.stats("h2").batches_sent == 0
+
+
+def test_send_batch_fifo_with_surrounding_sends():
+    env = Environment()
+    net = make_net(env)
+    arrivals = []
+    net.send("h1", "h2", 100, "first", lambda p: arrivals.append((env.now, p)))
+    net.send_batch("h1", "h2", [100, 100], ["b1", "b2"], lambda p: arrivals.append((env.now, p)))
+    net.send("h1", "h2", 100, "last", lambda p: arrivals.append((env.now, p)))
+    env.run()
+    # The batch queues behind the first send on the shared NIC watermark
+    # and the trailing send queues behind the batch.
+    assert arrivals == [(2.0, "first"), (4.0, "b1"), (4.0, "b2"), (5.0, "last")]
+
+
+def test_send_batch_loopback():
+    env = Environment()
+    net = make_net(env)
+    arrivals = []
+    net.send_batch("h1", "h1", [500, 500], ["a", "b"], lambda p: arrivals.append(env.now))
+    env.run()
+    assert arrivals == [pytest.approx(0.1)] * 2
+
+
+def test_send_batch_rejects_bad_input():
+    env = Environment()
+    net = make_net(env)
+    with pytest.raises(ValueError):
+        net.send_batch("h1", "h2", [100], ["a", "b"], lambda p: None)
+    with pytest.raises(ValueError):
+        net.send_batch("h1", "h2", [], [], lambda p: None)
+    with pytest.raises(ValueError):
+        net.send_batch("h1", "h2", [100, -1], ["a", "b"], lambda p: None)

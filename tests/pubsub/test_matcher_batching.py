@@ -48,9 +48,14 @@ def event(kind, payload, seq=0):
 class FakeContext:
     def __init__(self):
         self.emitted = []
+        self.batches = 0
 
     def emit(self, operator, kind, payload, size_bytes, key):
         self.emitted.append((operator, kind, payload, size_bytes, key))
+
+    def emit_batch(self, emissions):
+        self.emitted.extend(emissions)
+        self.batches += 1
 
 
 class TestHandlerUnit:

@@ -307,3 +307,68 @@ def test_yielding_non_event_is_an_error():
     env.process(bad())
     with pytest.raises(TypeError):
         env.run()
+
+
+def test_pooled_timeout_fires_like_a_timeout():
+    from repro.sim import ReusableTimeout
+
+    env = Environment()
+    log = []
+
+    def proc():
+        value = yield env.pooled_timeout(2.0, value="v")
+        log.append((env.now, value))
+
+    env.process(proc())
+    env.run()
+    assert log == [(2.0, "v")]
+
+
+def test_pooled_timeout_recycles_and_rearms():
+    env = Environment()
+    fired = []
+
+    def proc():
+        first = env.pooled_timeout(1.0)
+        yield first
+        env.recycle_timeout(first)
+        second = env.pooled_timeout(1.0)
+        # The pool handed the same (reset) event object back.
+        assert second is first
+        yield second
+        fired.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert fired == [2.0]
+
+
+def test_pooled_timeout_cannot_rearm_while_scheduled():
+    from repro.sim import ReusableTimeout
+
+    env = Environment()
+    timeout = env.pooled_timeout(5.0)
+    with pytest.raises(RuntimeError):
+        timeout.fire(1.0)
+    with pytest.raises(ValueError):
+        ReusableTimeout(env).fire(-1.0)
+
+
+def test_recycle_refuses_still_scheduled_timeout():
+    env = Environment()
+    timeout = env.pooled_timeout(5.0)
+    env.recycle_timeout(timeout)  # no-op: not processed yet
+    assert env.pooled_timeout(1.0) is not timeout
+
+
+def test_process_and_events_use_slots():
+    from repro.sim import Process, ReusableTimeout, Timeout
+
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+
+    for obj in (env.process(proc()), env.timeout(1.0), ReusableTimeout(env)):
+        with pytest.raises(AttributeError):
+            obj.ad_hoc_attribute = 1
