@@ -67,7 +67,7 @@ def encrypted_workload():
     return _WORKLOAD
 
 
-def build_hub(batched: bool):
+def build_hub(batched: bool, telemetry=None):
     env = Environment()
     cloud = CloudProvider(env, spec=HostSpec(cores=8), max_hosts=8)
     hosts = [cloud.provision_now() for _ in range(ENGINE_HOSTS + 1)]
@@ -87,6 +87,7 @@ def build_hub(batched: bool):
         sink_slices=1,
         encrypted=False,
         backend_factory=lambda index: ExactBackend(AspeLibrary()),
+        telemetry=telemetry,
         **limits,
     )
     hub = StreamHub(env, cloud.network, config)
@@ -100,9 +101,9 @@ def band(attribute, low, high):
     )
 
 
-def run_pipeline(batched: bool):
+def run_pipeline(batched: bool, telemetry=None):
     encrypted_subs, encrypted_pubs = encrypted_workload()
-    env, hub = build_hub(batched)
+    env, hub = build_hub(batched, telemetry=telemetry)
     for sub_id, encrypted in enumerate(encrypted_subs):
         hub.subscribe(Subscription(sub_id, 1000 + sub_id, encrypted))
     env.run()
@@ -179,3 +180,66 @@ def test_pipeline_batched_vs_per_event(benchmark, report):
     )
     report(f"  exported        : {path}")
     assert speedup >= 2.0
+
+
+def test_pipeline_telemetry_artifacts(report):
+    """A telemetry-enabled run observes without perturbing, and its trace
+    and metric scrape are exported for the CI workflow to archive."""
+    from repro.telemetry import Telemetry, write_prometheus
+
+    baseline = run_pipeline(batched=True)
+    telemetry = Telemetry()
+    traced = run_pipeline(batched=True, telemetry=telemetry)
+
+    # Pure observer: the notification log is bit-identical with tracing on.
+    assert traced["notifications"] == baseline["notifications"]
+    assert traced["processed_events"] == baseline["processed_events"]
+
+    # The registry saw the whole pipeline.
+    assert telemetry.events_processed.labels(operator="M").value > 0
+    assert telemetry.batches_coalesced.labels(operator="M").value > 0
+    assert telemetry.notification_delay.count == len(traced["notifications"])
+    hop_names = {span.name for span in telemetry.tracer.spans}
+    assert {"hop.AP", "hop.M", "hop.EP", "hop.SINK"} <= hop_names
+
+    trace_path = os.environ.get("REPRO_BENCH_TRACE_OUT", "BENCH_trace.jsonl")
+    telemetry.tracer.write_jsonl(trace_path)
+    metrics_path = os.environ.get("REPRO_BENCH_METRICS_OUT", "BENCH_metrics.prom")
+    write_prometheus(metrics_path, telemetry.metrics)
+
+    report()
+    report("Telemetry-enabled pipeline run (pure-observer check)")
+    report(f"  spans recorded  : {len(telemetry.tracer.spans):8d}")
+    report(f"  mean delay      : {telemetry.notification_delay.mean * 1000:8.1f} ms")
+    report(f"  exported        : {trace_path}, {metrics_path}")
+
+
+def test_pipeline_disabled_telemetry_overhead(report):
+    """A constructed-but-disabled bundle must cost < 3% wall-clock.
+
+    The disabled path is a single ``is None`` / ``tracer.enabled`` test at
+    every instrumented call site; interleaved best-of-N runs keep host
+    noise from drowning the comparison.
+    """
+    from repro.telemetry import Telemetry
+
+    rounds = 3
+    run_pipeline(batched=True)  # warm caches and the encrypted workload
+    bare_s = []
+    disabled_s = []
+    for _ in range(rounds):
+        bare_s.append(run_pipeline(batched=True)["wall_s"])
+        disabled_s.append(
+            run_pipeline(batched=True, telemetry=Telemetry.disabled())["wall_s"]
+        )
+    bare = min(bare_s)
+    disabled = min(disabled_s)
+    overhead = disabled / bare - 1.0
+
+    report()
+    report("Disabled-telemetry overhead (best of "
+           f"{rounds} interleaved runs)")
+    report(f"  no telemetry    : {bare * 1000:8.1f} ms")
+    report(f"  disabled bundle : {disabled * 1000:8.1f} ms")
+    report(f"  overhead        : {overhead * 100:+8.2f}% (ceiling: +3%)")
+    assert overhead < 0.03

@@ -9,9 +9,14 @@ Usage::
     python -m repro.cli figure8 [--time-scale 0.25]
     python -m repro.cli figure9 [--time-scale 0.5]
     python -m repro.cli ablations [--which selection|grace|target]
+    python -m repro.cli trace   [--out trace.jsonl]
+    python -m repro.cli metrics [--format table|prom|json]
 
-Each command prints the same ``paper vs measured`` report the benchmark
-harness produces (see EXPERIMENTS.md).
+Each experiment command prints the same ``paper vs measured`` report the
+benchmark harness produces (see EXPERIMENTS.md).  ``trace`` and
+``metrics`` drive a small telemetry-enabled deployment (with one live M
+slice migration) and emit its span trace / metric registry — the ops
+surface documented in OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -62,6 +67,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("cost", help="elastic vs static provisioning cost (§I)")
     p.add_argument("--time-scale", type=float, default=0.35)
+
+    p = sub.add_parser(
+        "trace",
+        help="record a sample JSONL span trace (pipeline + one migration)",
+    )
+    p.add_argument("--out", default="trace.jsonl",
+                   help="JSONL output path (default: trace.jsonl)")
+    p.add_argument("--publications", type=int, default=200)
+    p.add_argument("--no-migration", action="store_true",
+                   help="skip the mid-run M slice migration")
+
+    p = sub.add_parser(
+        "metrics",
+        help="render the telemetry registry snapshot of a sample run",
+    )
+    p.add_argument("--format", choices=["table", "prom", "json"],
+                   default="table", dest="fmt")
+    p.add_argument("--out", default=None,
+                   help="write to this file instead of stdout")
+    p.add_argument("--publications", type=int, default=200)
     return parser
 
 
@@ -215,6 +240,109 @@ def _cmd_cost(args) -> None:
     print(f"savings vs static peak: {comparison.savings_vs_static_peak:.0%}")
 
 
+def _telemetry_demo(publications: int, migrate: bool = True):
+    """One small telemetry-enabled deployment, fully deterministic.
+
+    Two engine hosts run a 2/4/2-slice sampled-matching hub; a burst of
+    ``publications`` flows through while (optionally) the stateful slice
+    ``M:0`` live-migrates between the hosts.  Returns ``(telemetry,
+    migration_report_or_None)``.
+    """
+    from .cluster import CloudProvider, HostSpec
+    from .pubsub import HubConfig, Publication, StreamHub, Subscription
+    from .sim import Environment
+    from .telemetry import Telemetry
+
+    env = Environment()
+    telemetry = Telemetry(env)
+    cloud = CloudProvider(env, spec=HostSpec(cores=8), max_hosts=4)
+    hosts = [cloud.provision_now() for _ in range(3)]
+    config = HubConfig.sampled(
+        matching_rate=0.05,
+        ap_slices=2,
+        m_slices=4,
+        ep_slices=2,
+        sink_slices=1,
+        encrypted=False,
+        telemetry=telemetry,
+    )
+    hub = StreamHub(env, cloud.network, config)
+    hub.deploy_all_on(hosts[:2], hosts[2:])
+    for sub_id in range(50):
+        hub.subscribe(Subscription(sub_id, 1000 + sub_id))
+    env.run()
+
+    report_box = []
+    if migrate:
+        def migration():
+            yield env.timeout(0.05)
+            report = yield hub.runtime.migrate("M:0", hosts[1])
+            report_box.append(report)
+
+        env.process(migration())
+    for pub_id in range(publications):
+        hub.publish(Publication(pub_id, published_at=env.now))
+    env.run()
+    return telemetry, (report_box[0] if report_box else None)
+
+
+def _cmd_trace(args) -> None:
+    tel, report = _telemetry_demo(args.publications, migrate=not args.no_migration)
+    tel.tracer.write_jsonl(args.out)
+    print(f"trace: {len(tel.tracer.spans)} spans -> {args.out}")
+    print(format_table(
+        ["span", "count", "total s", "mean s", "max s"],
+        [
+            [name, count, f"{total:.6f}", f"{mean:.6f}", f"{peak:.6f}"]
+            for name, count, total, mean, peak in tel.tracer.breakdown()
+        ],
+    ))
+    if report is not None:
+        phases = [
+            s for s in tel.tracer.spans if s.name.startswith("migration.")
+        ]
+        phase_sum = sum(s.duration_s for s in phases)
+        print(
+            f"migration {report.slice_id}: "
+            + ", ".join(
+                f"{s.name.split('.', 1)[1]} {s.duration_s * 1000:.1f} ms"
+                for s in phases
+            )
+        )
+        print(
+            f"phase sum {phase_sum * 1000:.1f} ms == "
+            f"measured delay {report.duration_s * 1000:.1f} ms "
+            f"(interruption {report.interruption_s * 1000:.1f} ms)"
+        )
+
+
+def _cmd_metrics(args) -> None:
+    import json as _json
+
+    from .telemetry import to_prometheus, write_prometheus, write_snapshot_json
+
+    tel, _ = _telemetry_demo(args.publications)
+    registry = tel.metrics
+    if args.fmt == "table":
+        text = registry.render()
+    elif args.fmt == "prom":
+        text = to_prometheus(registry)
+    else:
+        text = _json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+    if args.out is None:
+        print(text)
+    elif args.fmt == "prom":
+        write_prometheus(args.out, registry)
+        print(f"metrics: prometheus scrape -> {args.out}")
+    elif args.fmt == "json":
+        write_snapshot_json(args.out, registry)
+        print(f"metrics: JSON snapshot -> {args.out}")
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"metrics: table -> {args.out}")
+
+
 _COMMANDS = {
     "cost": _cmd_cost,
     "figure1": _cmd_figure1,
@@ -224,6 +352,8 @@ _COMMANDS = {
     "figure8": _cmd_figure8,
     "figure9": _cmd_figure9,
     "ablations": _cmd_ablations,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
 }
 
 

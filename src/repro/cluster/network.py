@@ -86,6 +86,23 @@ class Network:
         #: Simulated time until which each attached NIC is busy sending.
         self._nic_free_at: Dict[str, float] = {}
         self._stats: Dict[str, NicStats] = {}
+        #: Pre-resolved telemetry counters (``None`` until a bundle with
+        #: metrics enabled is bound; the unbound cost is one ``is None``).
+        self._tel_messages = None
+        self._tel_batches = None
+        self._tel_bytes = None
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a :class:`repro.telemetry.Telemetry` bundle.
+
+        ``send``/``send_batch`` then also feed the fabric-wide
+        ``net_messages_sent_total`` / ``net_batches_sent_total`` /
+        ``net_bytes_sent_total`` counters (the per-host ``NicStats``
+        counters are unconditional and unchanged).
+        """
+        self._tel_messages = telemetry.net_messages if telemetry is not None else None
+        self._tel_batches = telemetry.net_batches if telemetry is not None else None
+        self._tel_bytes = telemetry.net_bytes if telemetry is not None else None
 
     def attach(self, host_id: str) -> None:
         """Register a host NIC on the fabric (idempotent)."""
@@ -127,6 +144,9 @@ class Network:
         src_stats = self.stats(src)
         src_stats.bytes_sent += size_bytes
         src_stats.messages_sent += 1
+        if self._tel_messages is not None:
+            self._tel_messages.inc()
+            self._tel_bytes.inc(size_bytes)
         arrival = self._arrival_time(src, dst, size_bytes, now)
         self.env.call_later(arrival - now, self._deliver, dst, size_bytes, payload, deliver)
         return arrival
@@ -162,6 +182,10 @@ class Network:
         src_stats.bytes_sent += total
         src_stats.messages_sent += len(payloads)
         src_stats.batches_sent += 1
+        if self._tel_messages is not None:
+            self._tel_messages.inc(len(payloads))
+            self._tel_batches.inc()
+            self._tel_bytes.inc(total)
         arrival = self._arrival_time(src, dst, total, now)
         self.env.call_later(
             arrival - now, self._deliver_batch, dst, total, payloads, deliver

@@ -32,6 +32,7 @@ class HostBin:
     memory_used_bytes: int = 0
 
     def fits(self, item: SliceLoad) -> bool:
+        """Whether ``item`` fits within the remaining CPU and memory."""
         return (
             self.cpu_used_cores + item.cpu_cores <= self.cpu_capacity_cores + 1e-12
             and self.memory_used_bytes + item.memory_bytes
@@ -39,6 +40,7 @@ class HostBin:
         )
 
     def add(self, item: SliceLoad) -> None:
+        """Account ``item``'s CPU and memory against this bin."""
         self.cpu_used_cores += item.cpu_cores
         self.memory_used_bytes += item.memory_bytes
 

@@ -66,26 +66,86 @@ class ElasticityEnforcer:
         host_cores: int = 8,
         host_memory_bytes: int = 8 * 1024 ** 3,
         selector=select_slices,
+        telemetry=None,
     ):
         """``selector(candidates, required_cores) -> chosen`` picks the
         slices to offload; the default is the paper's min-state-transfer
         subset sum.  Alternative strategies are used by the ablation
-        benchmarks."""
+        benchmarks.
+
+        ``telemetry`` is an optional :class:`repro.telemetry.Telemetry`
+        bundle; every resolution then bumps the ``rule`` -labelled firing
+        counter and records an ``enforcer.decision`` trace event carrying
+        the decision's inputs and outputs (see :meth:`resolve`).
+        """
         if host_cores <= 0 or host_memory_bytes <= 0:
             raise ValueError("host resources must be positive")
         self.policy = policy
         self.host_cores = host_cores
         self.host_memory_bytes = host_memory_bytes
         self.selector = selector
+        self.telemetry = telemetry
 
     # -- public API -----------------------------------------------------------
 
     def resolve(self, probes: ProbeSet, violation: Violation) -> Optional[ScalingDecision]:
+        """Turn one policy violation into a :class:`ScalingDecision`.
+
+        Returns ``None`` when the two-step algorithm finds no useful move
+        (nothing to select, or no feasible placement).  With telemetry
+        bound, each call records an ``enforcer.decision`` event whose
+        attributes capture the full decision context: the probe window
+        (timestamp, width, average utilization, host count), the fired
+        rule and its measured value, the selected slices and their
+        placement, plus hosts provisioned/released — the record the
+        OBSERVABILITY.md worked example walks through.
+        """
         if violation.kind is ViolationKind.GLOBAL_OVERLOAD:
-            return self._scale_out(probes)
-        if violation.kind is ViolationKind.GLOBAL_UNDERLOAD:
-            return self._scale_in(probes)
-        return self._local_rebalance(probes, violation.host_id)
+            decision = self._scale_out(probes)
+        elif violation.kind is ViolationKind.GLOBAL_UNDERLOAD:
+            decision = self._scale_in(probes)
+        else:
+            decision = self._local_rebalance(probes, violation.host_id)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            self._record_decision(telemetry, probes, violation, decision)
+        return decision
+
+    def _record_decision(
+        self,
+        telemetry,
+        probes: ProbeSet,
+        violation: Violation,
+        decision: Optional[ScalingDecision],
+    ) -> None:
+        rule = violation.kind.value
+        if telemetry.rule_firings is not None:
+            telemetry.rule_firings.labels(rule=rule).inc()
+            if decision is not None and not decision.is_empty:
+                telemetry.scaling_decisions.labels(kind=rule).inc()
+        tracer = telemetry.tracer
+        if tracer.enabled:
+            attrs = {
+                "rule": rule,
+                "measured": violation.measured,
+                "window_time": probes.time,
+                "window_s": probes.window_s,
+                "avg_utilization": probes.average_utilization(),
+                "hosts": len(probes.hosts),
+                "actionable": decision is not None and not decision.is_empty,
+            }
+            if violation.host_id:
+                attrs["host_id"] = violation.host_id
+            if decision is not None:
+                attrs["selected_slices"] = [
+                    m.slice_id for m in decision.migrations
+                ]
+                attrs["placement"] = {
+                    m.slice_id: m.to_host for m in decision.migrations
+                }
+                attrs["new_hosts"] = decision.new_hosts
+                attrs["release_hosts"] = list(decision.release_hosts)
+            tracer.event("enforcer.decision", **attrs)
 
     # -- helpers ------------------------------------------------------------------
 

@@ -31,11 +31,18 @@ _ROOT = "/estreamhub"
 class ManagerRecord:
     """One entry of the manager's decision history."""
 
+    #: Simulated time the decision finished executing.
     time: float
+    #: The fired rule (a :class:`ViolationKind` value string).
     kind: str
+    #: Migrations the decision planned (attempted, not necessarily done).
     migrations: int
+    #: Hosts the decision asked to provision.
     new_hosts: int
+    #: Hosts actually released back to the provider.
     released_hosts: int
+    #: Failed steps: provisioning shortfalls, failed or untargetable
+    #: migrations, releases blocked by still-occupied hosts.
     failures: int = 0
 
 
@@ -52,15 +59,32 @@ class ElasticityManager:
         coord: Optional[CoordinationKernel] = None,
         probe_interval_s: float = 5.0,
     ):
+        """Wire a manager to one deployed hub.
+
+        ``engine_hosts`` is the initial managed host set (at least one);
+        the manager owns membership from here on — provisioning into and
+        releasing from ``cloud`` as the enforcer decides.  ``policy``,
+        ``enforcer`` and ``coord`` default to the paper's policy, the
+        two-step enforcer sized to the provider's host spec, and a fresh
+        coordination kernel.  ``probe_interval_s`` is the heartbeat
+        period (paper: 5 s).  The hub's telemetry bundle, when present,
+        is inherited and threaded into the collector and enforcer.
+        """
         self.hub = hub
         self.cloud = cloud
         self.env: Environment = hub.env
         self.policy = policy or ElasticityPolicy()
+        #: Telemetry bundle inherited from the hub (``None`` when the hub
+        #: runs without one); threaded into the collector and enforcer.
+        self.telemetry = getattr(hub, "telemetry", None)
         self.enforcer = enforcer or ElasticityEnforcer(
             self.policy,
             host_cores=cloud.spec.cores,
             host_memory_bytes=cloud.spec.memory_bytes,
+            telemetry=self.telemetry,
         )
+        if self.enforcer.telemetry is None:
+            self.enforcer.telemetry = self.telemetry
         self.coord = coord or CoordinationKernel()
         self.engine_hosts: List[Host] = list(engine_hosts)
         if not self.engine_hosts:
@@ -71,6 +95,7 @@ class ElasticityManager:
             hosts_fn=lambda: list(self.engine_hosts),
             cost_model=hub.config.cost_model,
             interval_s=probe_interval_s,
+            telemetry=self.telemetry,
         )
         self.collector.subscribe(self._on_probes)
         #: Extra probe listeners (experiment recorders).
@@ -98,15 +123,20 @@ class ElasticityManager:
 
     @property
     def host_count(self) -> int:
+        """Number of engine hosts currently managed."""
         return len(self.engine_hosts)
 
     @property
     def in_grace_period(self) -> bool:
+        """Whether the post-action settle window is still running."""
         return (self.env.now - self._last_action_at) < self.policy.grace_period_s
 
     # -- probe handling -----------------------------------------------------------
 
     def _on_probes(self, probes: ProbeSet) -> None:
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.engine_hosts is not None:
+            telemetry.engine_hosts.set(len(self.engine_hosts))
         for listener in list(self.probe_listeners):
             listener(probes)
         if self._executing or self.in_grace_period:
@@ -124,6 +154,16 @@ class ElasticityManager:
 
     def _execute(self, decision: ScalingDecision):
         failures = 0
+        released = 0
+        tracer = self.telemetry.tracer if self.telemetry is not None else None
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span(
+                "enforcer.execute",
+                kind=decision.kind.value,
+                migrations=len(decision.migrations),
+                new_hosts=decision.new_hosts,
+            )
         try:
             new_hosts: Dict[str, Host] = {}
             for index in range(decision.new_hosts):
@@ -183,6 +223,10 @@ class ElasticityManager:
                 )
             )
         finally:
+            if span is not None:
+                tracer.finish_span(
+                    span, released_hosts=released, failures=failures
+                )
             self._last_action_at = self.env.now
             self._executing = False
 
@@ -279,4 +323,5 @@ class ElasticityManager:
         return placement
 
     def stored_hosts(self) -> List[str]:
+        """Managed host ids as recorded in the coordination kernel."""
         return self.coord.get_children(f"{_ROOT}/hosts")

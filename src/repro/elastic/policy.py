@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 from .probes import ProbeSet
 
@@ -26,8 +27,17 @@ __all__ = ["ElasticityPolicy", "Violation", "ViolationKind"]
 
 
 class ViolationKind(enum.Enum):
+    """Which rule a probe round violated.
+
+    The enum values double as the ``rule`` label on the telemetry
+    counters and the ``enforcer.decision`` trace records.
+    """
+
+    #: Average CPU across hosts above ``scale_out_threshold``.
     GLOBAL_OVERLOAD = "global_overload"
+    #: Average CPU across hosts below ``scale_in_threshold``.
     GLOBAL_UNDERLOAD = "global_underload"
+    #: One host above ``local_overload_threshold`` (globals all hold).
     LOCAL_OVERLOAD = "local_overload"
 
 
@@ -35,8 +45,13 @@ class ViolationKind(enum.Enum):
 class Violation:
     """A detected policy violation, with the metric that triggered it."""
 
+    #: Which rule fired.
     kind: ViolationKind
+    #: The violating measurement — average (global rules) or single-host
+    #: (local rule) CPU utilization, in [0, 1].
     measured: float
+    #: The violating host for :attr:`ViolationKind.LOCAL_OVERLOAD`;
+    #: empty for global rules.
     host_id: str = ""
 
 
@@ -44,11 +59,18 @@ class Violation:
 class ElasticityPolicy:
     """Thresholds of the global/local rules."""
 
+    #: Utilization the enforcer packs hosts toward (the paper's 50%).
     target_utilization: float = 0.50
+    #: Global rule: scale out when the average utilization exceeds this.
     scale_out_threshold: float = 0.70
+    #: Global rule: scale in when the average utilization drops below
+    #: this (and more than ``min_hosts`` hosts are running).
     scale_in_threshold: float = 0.30
+    #: Local rule: re-balance a single host above this utilization.
     local_overload_threshold: float = 0.85
+    #: Minimum simulated seconds between consecutive enforcement actions.
     grace_period_s: float = 30.0
+    #: Never release below this many engine hosts.
     min_hosts: int = 1
     #: Estimate offered load from CPU *and* queue backlog when sizing a
     #: scale-out (see :meth:`SliceProbe.demand_cores`).  Plain measured CPU
@@ -85,10 +107,11 @@ class ElasticityPolicy:
         if self.max_scale_out_factor <= 1.0:
             raise ValueError("max_scale_out_factor must exceed 1")
 
-    def check(self, probes: ProbeSet) -> Violation:
+    def check(self, probes: ProbeSet) -> Optional[Violation]:
         """Highest-priority violation in this probe round, if any.
 
-        Returns ``None`` when all rules hold.
+        Global rules outrank the local rule (paper §V); returns ``None``
+        when all rules hold or no hosts reported.
         """
         if not probes.hosts:
             return None

@@ -102,7 +102,11 @@ class ProbeCollector:
         hosts_fn: Callable[[], List[Host]],
         cost_model: Optional[CostModel] = None,
         interval_s: float = 5.0,
+        telemetry=None,
     ):
+        """``telemetry`` is an optional :class:`repro.telemetry.Telemetry`
+        bundle; each heartbeat then also refreshes the per-slice/per-host
+        gauges and bumps ``heartbeats_total`` (see OBSERVABILITY.md)."""
         if interval_s <= 0:
             raise ValueError("interval must be positive")
         self.runtime = runtime
@@ -111,6 +115,7 @@ class ProbeCollector:
         self.hosts_fn = hosts_fn
         self.cost_model = cost_model or CostModel()
         self.interval_s = interval_s
+        self.telemetry = telemetry
         self.subscribers: List[Callable[[ProbeSet], None]] = []
         self._cpu_snapshots: Dict[str, object] = {}
         self._net_snapshots: Dict[str, object] = {}
@@ -178,9 +183,31 @@ class ProbeCollector:
                 queue_length=stats["queue_length"],
                 processed_delta=max(0, stats["processed"] - previous_processed),
             )
-        return ProbeSet(
+        probe_set = ProbeSet(
             time=self.env.now, window_s=self.interval_s, hosts=hosts, slices=slices
         )
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.heartbeats is not None:
+            self._sample_telemetry(telemetry, probe_set)
+        return probe_set
+
+    def _sample_telemetry(self, telemetry, probe_set: ProbeSet) -> None:
+        """Mirror one heartbeat round into the metric registry's gauges."""
+        telemetry.heartbeats.inc()
+        for host in probe_set.hosts.values():
+            telemetry.host_cpu_utilization.labels(host=host.host_id).set(
+                host.cpu_utilization
+            )
+        for probe in probe_set.slices.values():
+            telemetry.slice_queue_depth.labels(slice=probe.slice_id).set(
+                probe.queue_length
+            )
+            telemetry.slice_cpu_cores.labels(slice=probe.slice_id).set(
+                probe.cpu_cores
+            )
+            telemetry.slice_state_bytes.labels(slice=probe.slice_id).set(
+                probe.memory_bytes
+            )
 
     def _run(self):
         from ..sim import Interrupt

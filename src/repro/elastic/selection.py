@@ -24,8 +24,12 @@ __all__ = ["SliceLoad", "select_slices", "select_slices_greedy_cpu", "select_sli
 class SliceLoad:
     """Migration-relevant view of one slice."""
 
+    #: Logical slice id (e.g. ``"M:3"``).
     slice_id: str
+    #: Load to re-place: average cores over the probe window (possibly
+    #: backlog-adjusted by the enforcer).
     cpu_cores: float
+    #: State to transfer if migrated — the quantity selection minimizes.
     memory_bytes: int
 
 

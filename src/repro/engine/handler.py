@@ -43,6 +43,11 @@ class SliceContext:
     def now(self) -> float:
         return self._runtime.env.now
 
+    @property
+    def telemetry(self):
+        """The runtime's bound :class:`repro.telemetry.Telemetry`, or ``None``."""
+        return self._runtime.telemetry
+
     def emit(self, operator: str, kind: str, payload: Any, size_bytes: int, key: int) -> None:
         """Send to the slice ``key mod n`` of ``operator`` (modulo hashing)."""
         self._runtime.route(self.slice_id, operator, kind, payload, size_bytes, key)

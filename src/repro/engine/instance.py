@@ -75,7 +75,8 @@ class SliceInstance:
         self._halted = False
         self._destroyed = False
         self._buffering = buffering
-        info = runtime.operators.get(logical_id.split(":", 1)[0])
+        self._operator = logical_id.split(":", 1)[0]
+        info = runtime.operators.get(self._operator)
         self._replay_dedup = info.replay_dedup if info is not None else True
         self._workers: List = []
         self._ctx = SliceContext(runtime, logical_id)
@@ -230,6 +231,40 @@ class SliceInstance:
             batch.append(candidate)
         return batch
 
+    def _record_telemetry(self, telemetry, batch: List[StreamEvent]) -> None:
+        """Record a processed batch: counters plus one hop span per event.
+
+        A hop span measures ``[event.sent_at, now]`` — emission at the
+        upstream slice to completed processing here — so queueing, network
+        and CPU time all land in the per-operator latency breakdown.
+        Events whose payload carries a ``pub_id`` (publications, match
+        lists, notifications) are correlated into one publication's
+        AP → M → EP → SINK trace.  Called only when a bundle is bound;
+        pure recording, never scheduling.
+        """
+        fam = telemetry.events_processed
+        if fam is not None:
+            fam.labels(operator=self._operator).inc(len(batch))
+            if len(batch) > 1:
+                telemetry.batches_coalesced.labels(operator=self._operator).inc()
+                telemetry.events_coalesced.labels(
+                    operator=self._operator
+                ).inc(len(batch))
+        tracer = telemetry.tracer
+        if tracer.enabled:
+            name = "hop." + self._operator
+            now = self.env.now
+            for event in batch:
+                attrs = {
+                    "slice": self.logical_id,
+                    "kind": event.kind,
+                    "source": event.source,
+                }
+                pub_id = getattr(event.payload, "pub_id", None)
+                if pub_id is not None:
+                    attrs["pub_id"] = pub_id
+                tracer.add_span(name, event.sent_at, now, **attrs)
+
     def _start_workers(self) -> None:
         self._workers = [
             self.env.process(self._worker_loop()) for _ in range(self.parallelism)
@@ -273,6 +308,9 @@ class SliceInstance:
                         if processed.seq > previous:
                             self.last_processed[processed.source] = processed.seq
                     self.processed_count += len(batch)
+                    telemetry = self.runtime.telemetry
+                    if telemetry is not None:
+                        self._record_telemetry(telemetry, batch)
                 finally:
                     self._busy -= 1
                 self._check_progress()

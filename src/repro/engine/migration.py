@@ -19,6 +19,17 @@ in-memory buffering of duplicated events:
 
 Stateless slices (AP) skip the copy phase entirely, hence their much lower
 migration time (paper Table I).
+
+When the runtime carries a :class:`repro.telemetry.Telemetry` bundle, the
+coordinator emits one ``migration`` root span plus five contiguous phase
+spans — ``migration.pre`` (destination creation and DAG rewiring),
+``migration.sync`` (drain to the duplication cutoffs), ``migration.pause``
+(origin halt to quiescence), ``migration.copy`` (serialize, transfer,
+deserialize, resume) and ``migration.post`` (final configuration update).
+The phases tile ``[started_at, completed_at]`` exactly, so their durations
+sum to :attr:`MigrationReport.duration_s`, and the pause + copy phases
+together equal :attr:`MigrationReport.interruption_s` — the Fig. 7 signal,
+now visible per migration instead of only in aggregate.
 """
 
 from __future__ import annotations
@@ -31,29 +42,56 @@ __all__ = ["MigrationReport", "MigrationError", "migrate_slice"]
 
 
 class MigrationError(RuntimeError):
-    """A migration could not be performed."""
+    """A migration could not be performed.
+
+    Raised synchronously by :func:`migrate_slice` for invalid requests:
+    unknown or undeployed slices, a slice already migrating, a
+    destination equal to the origin, or a destination host that has been
+    released back to the provider.
+    """
 
 
 @dataclass(frozen=True)
 class MigrationReport:
-    """Outcome of one completed slice migration."""
+    """Outcome of one completed slice migration.
 
+    Returned as the value of the coordinating process started by
+    :meth:`~repro.engine.runtime.EngineRuntime.migrate`; the manager
+    collects these into its migration log and the Table I experiment
+    aggregates their durations.
+    """
+
+    #: Logical id of the migrated slice (e.g. ``"M:3"``).
     slice_id: str
+    #: Host the slice left.
     source_host: str
+    #: Host the slice now runs on.
     destination_host: str
+    #: Simulated time the coordinator started (phase 2 begins).
     started_at: float
+    #: Simulated time the final configuration update finished.
     completed_at: float
+    #: Serialized state size transferred (0 for stateless slices).
     state_bytes: int
     #: Duration of the stop-copy-resume window (actual interruption).
     interruption_s: float
 
     @property
     def duration_s(self) -> float:
+        """Wall-to-wall migration time (``completed_at - started_at``)."""
         return self.completed_at - self.started_at
 
 
 def migrate_slice(runtime, slice_id: str, dest_host: Host):
-    """Coordinator process generator for one slice migration."""
+    """Coordinator process generator for one slice migration.
+
+    Drive it with :meth:`EngineRuntime.migrate` (which wraps it in a
+    simulation process); the process's value is a
+    :class:`MigrationReport`.  The generator yields at every simulated
+    wait of the §IV-A protocol: the fixed pre/post configuration
+    overheads, the drain to the duplication cutoffs, origin quiescence,
+    and the serialize/transfer/deserialize of the state copy.
+    """
     from .instance import SliceInstance
 
     env = runtime.env
@@ -73,6 +111,17 @@ def migrate_slice(runtime, slice_id: str, dest_host: Host):
 
     started_at = env.now
     info = runtime.operators[logical.operator]
+    telemetry = runtime.telemetry
+    tracer = telemetry.tracer if telemetry is not None else None
+    root = phase = None
+    if tracer is not None and tracer.enabled:
+        root = tracer.start_span(
+            "migration",
+            slice=slice_id,
+            from_host=origin.host.host_id,
+            to_host=dest_host.host_id,
+        )
+        phase = tracer.start_span("migration.pre", parent=root)
 
     # (2) Create the inactive destination instance and rewire the DAG to
     # duplicate incoming events.  The fixed pre-overhead models the
@@ -88,12 +137,21 @@ def migrate_slice(runtime, slice_id: str, dest_host: Host):
     )
     logical.pending = destination
     cutoffs = runtime.sent_cutoffs(slice_id)
+    if phase is not None:
+        tracer.finish_span(phase)
+        phase = tracer.start_span("migration.sync", parent=root)
 
     # (3) Wait until the origin processed everything sent before
     # duplication, then stop it and wait for in-flight work to finish.
     yield origin.wait_until_processed(cutoffs)
     interruption_start = env.now
+    if phase is not None:
+        tracer.finish_span(phase)
+        phase = tracer.start_span("migration.pause", parent=root)
     yield origin.halt()
+    if phase is not None:
+        tracer.finish_span(phase)
+        phase = tracer.start_span("migration.copy", parent=root)
 
     # (4) Copy the state with its timestamp vector.
     vector = dict(origin.last_processed)
@@ -124,11 +182,14 @@ def migrate_slice(runtime, slice_id: str, dest_host: Host):
     logical.pending = None
     origin.destroy()
     interruption_end = env.now
+    if phase is not None:
+        tracer.finish_span(phase, state_bytes=state_bytes)
+        phase = tracer.start_span("migration.post", parent=root)
 
     # (5) Final configuration update.
     yield env.timeout(costs.post_s)
     runtime.migrations_completed += 1
-    return MigrationReport(
+    report = MigrationReport(
         slice_id=slice_id,
         source_host=origin.host.host_id,
         destination_host=dest_host.host_id,
@@ -137,3 +198,17 @@ def migrate_slice(runtime, slice_id: str, dest_host: Host):
         state_bytes=state_bytes,
         interruption_s=interruption_end - interruption_start,
     )
+    if phase is not None:
+        tracer.finish_span(phase)
+        tracer.finish_span(
+            root,
+            state_bytes=state_bytes,
+            interruption_s=report.interruption_s,
+            duration_s=report.duration_s,
+        )
+    if telemetry is not None and telemetry.migrations is not None:
+        telemetry.migrations.inc()
+        telemetry.migration_state_bytes.inc(state_bytes)
+        telemetry.migration_duration.observe(report.duration_s)
+        telemetry.migration_interruption.observe(report.interruption_s)
+    return report

@@ -96,6 +96,23 @@ class EngineRuntime:
         self.migrations_completed = 0
         #: Upstream retention for crash recovery; None unless enabled.
         self.retention = None
+        #: Observability bundle (:class:`repro.telemetry.Telemetry`), or
+        #: ``None``.  Hot paths test the pre-resolved fields below so the
+        #: unbound cost is a single ``is None`` check.
+        self.telemetry = None
+        self._routed_fam = None
+
+    # -- observability -----------------------------------------------------------
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a :class:`repro.telemetry.Telemetry` bundle.
+
+        Binding is idempotent and may happen before or after deployment.
+        A disabled bundle binds too — its instruments are ``None`` and
+        its tracer is the shared no-op, so the hot paths stay free.
+        """
+        self.telemetry = telemetry
+        self._routed_fam = telemetry.events_routed if telemetry is not None else None
 
     # -- topology construction ---------------------------------------------------
 
@@ -201,6 +218,9 @@ class EngineRuntime:
         src_host = self._source_host_id(source_key)
         now = self.env.now
         replayed = self._replaying(source_key)
+        routed_fam = self._routed_fam
+        if routed_fam is not None:
+            routed_fam.labels(operator=operator).inc(len(indices))
         for index in indices:
             logical = self.slices[f"{operator}:{index}"]
             if logical.active is None:
@@ -268,9 +288,14 @@ class EngineRuntime:
                 if self.retention is not None:
                     self.retention.record(source_key, logical.id, event)
                 groups.setdefault(logical.id, []).append(event)
+        routed_fam = self._routed_fam
         for dest_id, events in groups.items():
             self._next_seq_by_dst.setdefault(dest_id, {})[source_key] = by_dst[dest_id]
             logical = self.slices[dest_id]
+            if routed_fam is not None:
+                routed_fam.labels(
+                    operator=dest_id.split(":", 1)[0]
+                ).inc(len(events))
             for instance in logical.instances():
                 if len(events) == 1:
                     self.network.send(

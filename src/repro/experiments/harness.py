@@ -39,6 +39,9 @@ class ExperimentSetup:
     #: dominates the steady-state notification delay (DESIGN.md §5).
     batch_flush_s: float = 0.10
     seed: int = 1
+    #: Optional :class:`repro.telemetry.Telemetry` bundle; when set, every
+    #: experiment run records spans and metrics (see OBSERVABILITY.md).
+    telemetry: Optional[object] = None
 
     def hub_config(self) -> HubConfig:
         return HubConfig.sampled(
@@ -49,6 +52,7 @@ class ExperimentSetup:
             sink_slices=self.sink_slices,
             parallelism=self.parallelism,
             cost_model=self.cost_model,
+            telemetry=self.telemetry,
         )
 
 

@@ -52,8 +52,13 @@ __all__ = [
 ]
 
 # Boundary tolerance: |û·q̂| below tol·scale counts as "equal".  The scale
-# is carried with each ciphertext pair via the blinding bounds.
-_REL_TOL = 1e-7
+# is carried with each ciphertext pair via the blinding bounds.  The value
+# must sit between the dot-product rounding error (~n·eps·‖û‖·‖q̂‖ ≈
+# 3e-15·‖û‖·‖q̂‖) and the smallest genuine decision margin, which is
+# r·s·|value − constant| ≥ 0.25·|value − constant| and does *not* grow
+# with the ciphertext norms — a tolerance much above the rounding error
+# flips true non-matches near the boundary into matches.
+_REL_TOL = 1e-13
 
 
 @dataclass(frozen=True)

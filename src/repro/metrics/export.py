@@ -3,6 +3,12 @@
 The benchmark harness prints tables; these helpers additionally persist
 experiment series to files (for external plotting) and render quick ASCII
 charts so a figure's shape is visible directly in terminal output.
+
+File writers are atomic: content goes to a temporary file in the
+destination directory first and is moved into place with ``os.replace``
+only once fully written.  A failure mid-write (a row iterator raising, a
+payload that cannot be serialized) leaves any previous version of the
+file untouched instead of silently truncating it.
 """
 
 from __future__ import annotations
@@ -10,6 +16,7 @@ from __future__ import annotations
 import csv
 import json
 import os
+import tempfile
 from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 __all__ = ["write_csv", "write_json", "ascii_chart", "ascii_sparkline"]
@@ -18,23 +25,40 @@ _BARS = "▁▂▃▄▅▆▇█"
 
 
 def write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
-    """Write rows to ``path`` (parent directories are created)."""
-    _ensure_parent(path)
-    with open(path, "w", newline="") as handle:
+    """Write rows to ``path`` atomically (parent directories are created)."""
+
+    def emit(handle) -> None:
         writer = csv.writer(handle)
         writer.writerow(headers)
         for row in rows:
             if len(row) != len(headers):
                 raise ValueError("row width does not match headers")
             writer.writerow(row)
-    return path
+
+    return _atomic_write(path, emit, newline="")
 
 
 def write_json(path: str, payload: Dict[str, Any]) -> str:
-    """Write a JSON document to ``path`` (parent directories are created)."""
-    _ensure_parent(path)
-    with open(path, "w") as handle:
+    """Write a JSON document to ``path`` atomically (parents are created)."""
+
+    def emit(handle) -> None:
         json.dump(payload, handle, indent=2, sort_keys=True, default=_coerce)
+
+    return _atomic_write(path, emit)
+
+
+def _atomic_write(path: str, emit, newline: str = None) -> str:
+    """Run ``emit(handle)`` against a temp file, then rename over ``path``."""
+    directory = _ensure_parent(path)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".export-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", newline=newline) as handle:
+            emit(handle)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
     return path
 
 
@@ -92,9 +116,10 @@ def _downsample(values: Sequence[float], width: int) -> List[float]:
     return buckets
 
 
-def _ensure_parent(path: str) -> None:
+def _ensure_parent(path: str) -> str:
     parent = os.path.dirname(os.path.abspath(path))
     os.makedirs(parent, exist_ok=True)
+    return parent
 
 
 def _coerce(value: Any) -> Any:

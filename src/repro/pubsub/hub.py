@@ -17,6 +17,7 @@ from ..engine import EngineRuntime, MigrationCosts
 from ..filtering import CostModel, MatchingBackend, SampledBackend
 from ..metrics import DelaySample, DelayTracker
 from ..sim import Environment
+from ..telemetry import Telemetry
 from .messages import Notification, Publication, Subscription
 from .operators import (
     AccessPointHandler,
@@ -60,6 +61,11 @@ class HubConfig:
     #: Max consecutively queued events an EP slice coalesces into one join
     #: pass; completed notifications of a batch dispatch together.
     ep_batch_limit: int = 1
+    #: Optional :class:`repro.telemetry.Telemetry` bundle.  When set, the
+    #: hub binds it to the engine runtime and the network fabric so every
+    #: layer records into the same tracer/registry (see OBSERVABILITY.md).
+    #: ``None`` (the default) keeps all hot paths on their no-op branch.
+    telemetry: Optional["Telemetry"] = None
 
     def __post_init__(self):
         if min(self.ap_slices, self.m_slices, self.ep_slices, self.sink_slices) <= 0:
@@ -109,6 +115,15 @@ class StreamHub:
         self.env = env
         self.config = config
         self.runtime = EngineRuntime(env, network, migration_costs=config.migration_costs())
+        #: The bound telemetry bundle (``config.telemetry``), or ``None``.
+        self.telemetry = config.telemetry
+        self._delay_hist = None
+        if self.telemetry is not None:
+            if self.telemetry.env is None:
+                self.telemetry.bind_env(env)
+            self.runtime.bind_telemetry(self.telemetry)
+            network.bind_telemetry(self.telemetry)
+            self._delay_hist = self.telemetry.notification_delay
         self.delay_tracker = DelayTracker()
         #: Joined notifications in delivery order (subscriber ids are
         #: present in exact-matching mode, ``None`` in sampled mode).
@@ -254,3 +269,5 @@ class StreamHub:
                 notifications=notification.count,
             )
         )
+        if self._delay_hist is not None:
+            self._delay_hist.observe(now - notification.published_at)

@@ -169,6 +169,10 @@ class MatcherHandler(SliceHandler):
         elif event.kind == KIND_PUBLICATION:
             publication: Publication = event.payload
             result = self.backend.match(publication.pub_id, publication.payload)
+            telemetry = getattr(ctx, "telemetry", None)
+            if telemetry is not None and telemetry.matcher_publications is not None:
+                telemetry.matcher_publications.inc()
+                telemetry.matcher_matches.inc(result.count)
             ctx.emit(*self._match_emission(publication, result))
         else:
             raise ValueError(f"M cannot handle event kind {event.kind!r}")
@@ -187,6 +191,10 @@ class MatcherHandler(SliceHandler):
             [publication.pub_id for publication in publications],
             [publication.payload for publication in publications],
         )
+        telemetry = getattr(ctx, "telemetry", None)
+        if telemetry is not None and telemetry.matcher_publications is not None:
+            telemetry.matcher_publications.inc(len(results))
+            telemetry.matcher_matches.inc(sum(result.count for result in results))
         ctx.emit_batch(
             [
                 self._match_emission(publication, result)

@@ -1,0 +1,98 @@
+"""Telemetry exporters: Prometheus text format and JSON snapshots.
+
+Complements the generic writers in :mod:`repro.metrics.export` with the
+Prometheus 0.0.4 text exposition format, so a registry snapshot can be
+scraped (or diffed) by standard tooling.  Output is deterministic:
+families sort by name, children by label values, and numbers render via
+``repr``-stable formatting — two identical runs produce byte-identical
+scrapes.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import List
+
+from .registry import MetricFamily, MetricsRegistry
+
+__all__ = ["to_prometheus", "write_prometheus", "write_snapshot_json"]
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integral floats render without exponent."""
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _family_lines(family: MetricFamily) -> List[str]:
+    lines = []
+    if family.help:
+        help_text = family.help + (f" [{family.unit}]" if family.unit else "")
+        lines.append(f"# HELP {family.name} {_escape(help_text)}")
+    lines.append(f"# TYPE {family.name} {family.kind}")
+    for labels, child in family.samples():
+        if family.kind == "histogram":
+            for bound, cumulative in child.cumulative_buckets():
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _fmt(bound)
+                lines.append(
+                    f"{family.name}_bucket{_labels_text(bucket_labels)} {cumulative}"
+                )
+            inf_labels = dict(labels)
+            inf_labels["le"] = "+Inf"
+            lines.append(
+                f"{family.name}_bucket{_labels_text(inf_labels)} {child.count}"
+            )
+            lines.append(f"{family.name}_sum{_labels_text(labels)} {_fmt(child.sum)}")
+            lines.append(f"{family.name}_count{_labels_text(labels)} {child.count}")
+        else:
+            lines.append(f"{family.name}{_labels_text(labels)} {_fmt(child.value)}")
+    return lines
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the whole registry in the Prometheus text format."""
+    lines: List[str] = []
+    for family in registry:
+        lines.extend(_family_lines(family))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path: str, registry: MetricsRegistry) -> str:
+    """Write :func:`to_prometheus` output atomically; returns ``path``."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".prom-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(to_prometheus(registry))
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def write_snapshot_json(path: str, registry: MetricsRegistry) -> str:
+    """Write :meth:`MetricsRegistry.snapshot` as JSON (atomic rename)."""
+    from ..metrics.export import write_json
+
+    return write_json(path, registry.snapshot())

@@ -20,6 +20,30 @@ class TestWriteCsv:
         with pytest.raises(ValueError):
             write_csv(str(tmp_path / "x.csv"), ["a", "b"], [[1]])
 
+    def test_failed_write_preserves_previous_file(self, tmp_path):
+        """A failing row iterator must not truncate an existing export."""
+        path = tmp_path / "data.csv"
+        write_csv(str(path), ["a", "b"], [[1, 2]])
+        before = path.read_text()
+
+        def exploding_rows():
+            yield [3, 4]
+            raise RuntimeError("source died mid-iteration")
+
+        with pytest.raises(RuntimeError):
+            write_csv(str(path), ["a", "b"], exploding_rows())
+        assert path.read_text() == before
+
+    def test_failed_write_leaves_no_temp_files(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(str(tmp_path / "x.csv"), ["a", "b"], [[1]])
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_write_leaves_only_target(self, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(str(path), ["a"], [[1]])
+        assert list(tmp_path.iterdir()) == [path]
+
 
 class TestWriteJson:
     def test_roundtrip(self, tmp_path):
@@ -40,6 +64,15 @@ class TestWriteJson:
         write_json(str(path), {"point": Point(1, 2)})
         with open(path) as handle:
             assert json.load(handle)["point"] == {"x": 1, "y": 2}
+
+    def test_unserializable_payload_preserves_previous_file(self, tmp_path):
+        path = tmp_path / "r.json"
+        write_json(str(path), {"ok": 1})
+        before = path.read_text()
+        with pytest.raises(TypeError):
+            write_json(str(path), {"bad": object()})
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]
 
 
 class TestSparkline:

@@ -8,7 +8,7 @@ from repro.cli import build_parser, main
 def test_parser_knows_all_commands():
     parser = build_parser()
     for command in ["figure1", "figure6", "table1", "figure7", "figure8",
-                    "figure9", "ablations"]:
+                    "figure9", "ablations", "trace", "metrics"]:
         args = parser.parse_args([command])
         assert args.command == command
 
@@ -53,3 +53,52 @@ def test_table1_small_run_via_main(capsys, monkeypatch):
 def test_ablations_choice_validation():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["ablations", "--which", "bogus"])
+
+
+def test_trace_command_writes_jsonl(capsys, tmp_path):
+    from repro.telemetry import read_jsonl
+
+    out = tmp_path / "trace.jsonl"
+    assert main(["trace", "--out", str(out), "--publications", "20"]) == 0
+    printed = capsys.readouterr().out
+    assert "phase sum" in printed
+    records = read_jsonl(str(out))
+    names = {r["name"] for r in records}
+    assert {"hop.AP", "hop.M", "hop.EP", "hop.SINK", "migration"} <= names
+    assert all(r["end"] is not None for r in records)
+
+
+def test_trace_command_without_migration(capsys, tmp_path):
+    out = tmp_path / "trace.jsonl"
+    assert main(["trace", "--out", str(out), "--publications", "10",
+                 "--no-migration"]) == 0
+    printed = capsys.readouterr().out
+    assert "phase sum" not in printed
+    assert out.exists()
+
+
+def test_metrics_command_renders_table(capsys):
+    assert main(["metrics", "--publications", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "engine_events_processed_total" in out
+    assert "migrations_total" in out
+
+
+def test_metrics_command_prometheus_output(capsys, tmp_path):
+    out = tmp_path / "metrics.prom"
+    assert main(["metrics", "--publications", "20", "--format", "prom",
+                 "--out", str(out)]) == 0
+    text = out.read_text()
+    assert "# TYPE engine_events_processed_total counter" in text
+    assert 'engine_events_processed_total{operator="M"}' in text
+    assert "notification_delay_seconds_bucket" in text
+
+
+def test_metrics_command_json_output(tmp_path):
+    import json
+
+    out = tmp_path / "metrics.json"
+    assert main(["metrics", "--publications", "20", "--format", "json",
+                 "--out", str(out)]) == 0
+    snapshot = json.loads(out.read_text())
+    assert snapshot["migrations_total"]["kind"] == "counter"

@@ -48,3 +48,20 @@ def test_readme_elasticity_snippet_types():
     manager.start()
     env.run(until=12.0)
     assert manager.host_count == 1  # idle system stays put
+
+
+def test_readme_observability_snippet():
+    from repro.telemetry import Telemetry
+
+    env = Environment()
+    cloud = CloudProvider(env)
+    host = cloud.provision_now()
+    telemetry = Telemetry()                  # tracing + metrics
+    config = HubConfig.sampled(0.01, ap_slices=1, m_slices=2, ep_slices=1,
+                               sink_slices=1, telemetry=telemetry)
+    hub = StreamHub(env, cloud.network, config)
+    hub.deploy_all_on([host], [cloud.provision_now()])
+    hub.publish(Publication(0, payload=None, published_at=env.now))
+    env.run()
+    assert telemetry.tracer.find("hop.AP")
+    assert "engine_events_processed_total" in telemetry.metrics.render()
