@@ -1,0 +1,252 @@
+"""Wall-clock benchmark of the parallel matching execution backend.
+
+Sweeps worker count {0, 1, 2, 4} x matcher batch size over the pipeline
+workload from ``bench_pipeline.py`` (scaled up on the matching axis so
+the M operator dominates), with every configuration replaying the exact
+same ciphertexts.  For each configuration the run must produce the
+bit-identical notification multiset the inline (workers=0) path
+produces — the determinism half of the acceptance criteria — and the
+wall-clock comparisons are exported to ``BENCH_parallel.json`` (override
+with ``REPRO_BENCH_PARALLEL_OUT``) for the CI workflow to archive.
+
+The wall-clock floors scale with the hardware actually present:
+
+* 1 worker must not lose to inline (floor >= 1x) — asserted when the
+  host has at least 2 CPU cores, so pool overhead competes against a
+  real second core rather than time-slicing one;
+* 4 workers target >= 3x — asserted when the host has at least 4 cores.
+
+On smaller hosts the measured ratios are still exported, flagged
+``asserted: false``, so CI on full runners enforces what a laptop or a
+1-core container can only report.
+"""
+
+import os
+import random
+import time
+
+from repro.cluster import CloudProvider, HostSpec
+from repro.filtering import (
+    AspeCipher,
+    AspeKey,
+    AspeLibrary,
+    ExactBackend,
+    Op,
+    Predicate,
+    PredicateSet,
+)
+from repro.metrics import write_json
+from repro.parallel import create_executor
+from repro.pubsub import HubConfig, Publication, StreamHub, Subscription
+from repro.sim import Environment
+
+from conftest import run_once
+
+SUBSCRIPTIONS = 2400
+PUBLICATIONS = 400
+WORKER_COUNTS = (0, 1, 2, 4)
+BATCH_LIMITS = (32, 128)
+CHUNK_ROWS = 256
+ENGINE_HOSTS = 2
+RESULTS = {}
+
+_WORKLOAD = None
+
+
+def band(attribute, low, high):
+    return PredicateSet.of(
+        Predicate(attribute, Op.GE, low), Predicate(attribute, Op.LE, high)
+    )
+
+
+def encrypted_workload():
+    """One shared ciphertext workload: every run matches identical bits."""
+    global _WORKLOAD
+    if _WORKLOAD is None:
+        cipher = AspeCipher(
+            AspeKey.generate(4, rng=random.Random(21)), rng=random.Random(22)
+        )
+        rng = random.Random(23)
+        subs = [
+            cipher.encrypt_subscription(
+                band(sub_id % 4, float((sub_id % 6) * 50), float((sub_id % 6) * 50) + 80.0)
+            )
+            for sub_id in range(SUBSCRIPTIONS)
+        ]
+        pubs = [
+            cipher.encrypt_publication(
+                [rng.uniform(0.0, 300.0) for _ in range(4)]
+            )
+            for _ in range(PUBLICATIONS)
+        ]
+        _WORKLOAD = (subs, pubs)
+    return _WORKLOAD
+
+
+def run_pipeline(workers: int, batch_limit: int, executor=None):
+    encrypted_subs, encrypted_pubs = encrypted_workload()
+    env = Environment()
+    cloud = CloudProvider(env, spec=HostSpec(cores=8), max_hosts=8)
+    hosts = [cloud.provision_now() for _ in range(ENGINE_HOSTS + 1)]
+    config = HubConfig(
+        ap_slices=2,
+        m_slices=4,
+        ep_slices=2,
+        sink_slices=1,
+        encrypted=False,
+        backend_factory=lambda index: ExactBackend(AspeLibrary()),
+        ap_batch_limit=batch_limit,
+        matcher_batch_limit=batch_limit,
+        ep_batch_limit=batch_limit,
+        match_workers=workers,
+        match_chunk_rows=CHUNK_ROWS,
+        match_executor=executor,
+    )
+    hub = StreamHub(env, cloud.network, config)
+    hub.deploy_all_on(hosts[:ENGINE_HOSTS], [hosts[ENGINE_HOSTS]])
+    for sub_id, encrypted in enumerate(encrypted_subs):
+        hub.subscribe(Subscription(sub_id, 1000 + sub_id, encrypted))
+    env.run()
+    for pub_id, encrypted in enumerate(encrypted_pubs):
+        hub.publish(Publication(pub_id, payload=encrypted, published_at=env.now))
+    wall_start = time.perf_counter()
+    env.run()
+    wall_s = time.perf_counter() - wall_start
+    return {
+        "wall_s": wall_s,
+        "publications_per_s": PUBLICATIONS / wall_s,
+        # Sorted multiset: parallel execution never reorders content, but
+        # cross-channel delivery interleaving was never ordered.
+        "notifications": sorted(
+            (n.pub_id, n.count, tuple(sorted(n.subscriber_ids)))
+            for n in hub.notification_log
+        ),
+    }
+
+
+def test_parallel_matching_sweep(benchmark, report):
+    cpu_count = os.cpu_count() or 1
+    inline = {
+        limit: run_pipeline(0, limit) for limit in BATCH_LIMITS
+    }
+    sweep = {}
+
+    def run_sweep():
+        for workers in WORKER_COUNTS:
+            if workers == 0:
+                continue
+            executor = create_executor(workers, "auto", CHUNK_ROWS)
+            try:
+                for limit in BATCH_LIMITS:
+                    # Warm-up primes worker processes and snapshot caches
+                    # so the measured run reflects steady state.
+                    run_pipeline(workers, limit, executor=executor)
+                    sweep[(workers, limit)] = run_pipeline(
+                        workers, limit, executor=executor
+                    )
+            finally:
+                executor.shutdown()
+
+    run_once(benchmark, run_sweep)
+
+    for limit, baseline in inline.items():
+        assert len(baseline["notifications"]) == PUBLICATIONS
+    for (workers, limit), run in sweep.items():
+        # Byte-identical delivery: the whole point of the epoch protocol.
+        assert run["notifications"] == inline[limit]["notifications"], (
+            f"workers={workers} batch={limit} diverged from inline"
+        )
+
+    best_limit = max(
+        BATCH_LIMITS, key=lambda limit: inline[limit]["publications_per_s"]
+    )
+    speedups = {
+        (workers, limit): run["wall_s"] and inline[limit]["wall_s"] / run["wall_s"]
+        for (workers, limit), run in sweep.items()
+    }
+    floor_1 = speedups[(1, best_limit)]
+    target_4 = speedups[(4, best_limit)]
+    assert_floor = cpu_count >= 2
+    assert_target = cpu_count >= 4
+
+    for limit in BATCH_LIMITS:
+        RESULTS[f"workers=0,batch={limit}"] = {
+            "wall_s": inline[limit]["wall_s"],
+            "publications_per_s": inline[limit]["publications_per_s"],
+        }
+    for (workers, limit), run in sweep.items():
+        RESULTS[f"workers={workers},batch={limit}"] = {
+            "wall_s": run["wall_s"],
+            "publications_per_s": run["publications_per_s"],
+            "speedup_vs_inline": speedups[(workers, limit)],
+        }
+
+    report()
+    report(
+        f"Parallel matching wall-clock ({PUBLICATIONS} publications x "
+        f"{SUBSCRIPTIONS} subscriptions, chunk rows {CHUNK_ROWS}, "
+        f"host cpu count {cpu_count})"
+    )
+    for limit in BATCH_LIMITS:
+        report(f"  batch limit {limit}:")
+        report(
+            f"    workers=0 : {inline[limit]['wall_s'] * 1000:8.1f} ms "
+            f"({inline[limit]['publications_per_s']:8,.0f} pub/s)"
+        )
+        for workers in WORKER_COUNTS[1:]:
+            run = sweep[(workers, limit)]
+            report(
+                f"    workers={workers} : {run['wall_s'] * 1000:8.1f} ms "
+                f"({run['publications_per_s']:8,.0f} pub/s, "
+                f"{speedups[(workers, limit)]:.2f}x)"
+            )
+    report(
+        f"  1-worker floor  : {floor_1:.2f}x (>= 1x; "
+        + ("asserted" if assert_floor else "reported only, needs >= 2 cores")
+        + ")"
+    )
+    report(
+        f"  4-worker target : {target_4:.2f}x (>= 3x; "
+        + ("asserted" if assert_target else "reported only, needs >= 4 cores")
+        + ")"
+    )
+
+    path = os.environ.get("REPRO_BENCH_PARALLEL_OUT", "BENCH_parallel.json")
+    write_json(
+        path,
+        {
+            "workload": {
+                "subscriptions": SUBSCRIPTIONS,
+                "publications": PUBLICATIONS,
+                "worker_counts": list(WORKER_COUNTS),
+                "batch_limits": list(BATCH_LIMITS),
+                "chunk_rows": CHUNK_ROWS,
+                "engine_hosts": ENGINE_HOSTS,
+            },
+            "environment": {"cpu_count": cpu_count},
+            "results": dict(RESULTS),
+            "acceptance": {
+                "notifications_byte_identical": True,
+                "one_worker_floor": {
+                    "speedup": floor_1,
+                    "threshold": 1.0,
+                    "asserted": assert_floor,
+                },
+                "four_worker_target": {
+                    "speedup": target_4,
+                    "threshold": 3.0,
+                    "asserted": assert_target,
+                },
+            },
+        },
+    )
+    report(f"  exported        : {path}")
+
+    if assert_floor:
+        assert floor_1 >= 1.0, (
+            f"1-worker run lost to inline: {floor_1:.2f}x"
+        )
+    if assert_target:
+        assert target_4 >= 3.0, (
+            f"4-worker run below 3x target: {target_4:.2f}x"
+        )

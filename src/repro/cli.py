@@ -30,6 +30,51 @@ from .metrics import format_series, format_table
 __all__ = ["main", "build_parser"]
 
 
+def _non_negative_workers(value: str) -> int:
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer worker count, got {value!r}"
+        ) from None
+    if workers < 0:
+        raise argparse.ArgumentTypeError(
+            f"match workers must be >= 0 (0 runs matching inline), got {workers}"
+        )
+    return workers
+
+
+def _positive_chunk_rows(value: str) -> int:
+    try:
+        rows = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer row count, got {value!r}"
+        ) from None
+    if rows < 1:
+        raise argparse.ArgumentTypeError(
+            f"match chunk rows must be >= 1, got {rows}"
+        )
+    return rows
+
+
+def _add_match_options(p: argparse.ArgumentParser) -> None:
+    """Parallel matching knobs shared by telemetry-demo commands."""
+    p.add_argument(
+        "--match-workers", type=_non_negative_workers, default=0,
+        help="worker processes for parallel matching (0 = inline, default)",
+    )
+    p.add_argument(
+        "--match-backend", choices=["auto", "inline", "pool", "shm"],
+        default="auto",
+        help="matching execution backend (default: auto)",
+    )
+    p.add_argument(
+        "--match-chunk-rows", type=_positive_chunk_rows, default=4096,
+        help="minimum packed-matrix rows per worker chunk (default: 4096)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -77,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--publications", type=int, default=200)
     p.add_argument("--no-migration", action="store_true",
                    help="skip the mid-run M slice migration")
+    _add_match_options(p)
 
     p = sub.add_parser(
         "metrics",
@@ -87,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write to this file instead of stdout")
     p.add_argument("--publications", type=int, default=200)
+    _add_match_options(p)
     return parser
 
 
@@ -240,15 +287,35 @@ def _cmd_cost(args) -> None:
     print(f"savings vs static peak: {comparison.savings_vs_static_peak:.0%}")
 
 
-def _telemetry_demo(publications: int, migrate: bool = True):
+def _telemetry_demo(
+    publications: int,
+    migrate: bool = True,
+    match_workers: int = 0,
+    match_backend: str = "auto",
+    match_chunk_rows: int = 4096,
+):
     """One small telemetry-enabled deployment, fully deterministic.
 
-    Two engine hosts run a 2/4/2-slice sampled-matching hub; a burst of
-    ``publications`` flows through while (optionally) the stateful slice
-    ``M:0`` live-migrates between the hosts.  Returns ``(telemetry,
+    Two engine hosts run a 2/4/2-slice hub; a burst of ``publications``
+    flows through while (optionally) the stateful slice ``M:0``
+    live-migrates between the hosts.  Matching is statistically sampled
+    by default; with ``match_workers > 0`` it switches to real ASPE
+    filtering through the parallel worker pool so the worker-pool metric
+    families carry data.  Returns ``(telemetry,
     migration_report_or_None)``.
     """
+    import random
+
     from .cluster import CloudProvider, HostSpec
+    from .filtering import (
+        AspeCipher,
+        AspeKey,
+        AspeLibrary,
+        ExactBackend,
+        Op,
+        Predicate,
+        PredicateSet,
+    )
     from .pubsub import HubConfig, Publication, StreamHub, Subscription
     from .sim import Environment
     from .telemetry import Telemetry
@@ -257,19 +324,43 @@ def _telemetry_demo(publications: int, migrate: bool = True):
     telemetry = Telemetry(env)
     cloud = CloudProvider(env, spec=HostSpec(cores=8), max_hosts=4)
     hosts = [cloud.provision_now() for _ in range(3)]
-    config = HubConfig.sampled(
-        matching_rate=0.05,
+    shared = dict(
         ap_slices=2,
         m_slices=4,
         ep_slices=2,
         sink_slices=1,
-        encrypted=False,
         telemetry=telemetry,
+        match_workers=match_workers,
+        match_backend=match_backend,
+        match_chunk_rows=match_chunk_rows,
     )
+    cipher = None
+    if match_workers > 0:
+        key = AspeKey.generate(4, rng=random.Random(42))
+        cipher = AspeCipher(key, rng=random.Random(43))
+        config = HubConfig(
+            encrypted=True,
+            backend_factory=lambda index: ExactBackend(AspeLibrary()),
+            matcher_batch_limit=8,
+            **shared,
+        )
+    else:
+        config = HubConfig.sampled(
+            matching_rate=0.05, encrypted=False, **shared
+        )
     hub = StreamHub(env, cloud.network, config)
     hub.deploy_all_on(hosts[:2], hosts[2:])
+    rng = random.Random(44)
+    ops = [Op.GT, Op.GE, Op.LT, Op.LE]
     for sub_id in range(50):
-        hub.subscribe(Subscription(sub_id, 1000 + sub_id))
+        filter_payload = None
+        if cipher is not None:
+            filter_payload = cipher.encrypt_subscription(
+                PredicateSet(
+                    [Predicate(rng.randrange(4), rng.choice(ops), rng.uniform(0, 100))]
+                )
+            )
+        hub.subscribe(Subscription(sub_id, 1000 + sub_id, filter_payload))
     env.run()
 
     report_box = []
@@ -281,13 +372,24 @@ def _telemetry_demo(publications: int, migrate: bool = True):
 
         env.process(migration())
     for pub_id in range(publications):
-        hub.publish(Publication(pub_id, published_at=env.now))
+        payload = None
+        if cipher is not None:
+            payload = cipher.encrypt_publication(
+                [rng.uniform(0, 100) for _ in range(4)]
+            )
+        hub.publish(Publication(pub_id, payload, published_at=env.now))
     env.run()
     return telemetry, (report_box[0] if report_box else None)
 
 
 def _cmd_trace(args) -> None:
-    tel, report = _telemetry_demo(args.publications, migrate=not args.no_migration)
+    tel, report = _telemetry_demo(
+        args.publications,
+        migrate=not args.no_migration,
+        match_workers=args.match_workers,
+        match_backend=args.match_backend,
+        match_chunk_rows=args.match_chunk_rows,
+    )
     tel.tracer.write_jsonl(args.out)
     print(f"trace: {len(tel.tracer.spans)} spans -> {args.out}")
     print(format_table(
@@ -321,7 +423,12 @@ def _cmd_metrics(args) -> None:
 
     from .telemetry import to_prometheus, write_prometheus, write_snapshot_json
 
-    tel, _ = _telemetry_demo(args.publications)
+    tel, _ = _telemetry_demo(
+        args.publications,
+        match_workers=args.match_workers,
+        match_backend=args.match_backend,
+        match_chunk_rows=args.match_chunk_rows,
+    )
     registry = tel.metrics
     if args.fmt == "table":
         text = registry.render()

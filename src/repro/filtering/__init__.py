@@ -19,7 +19,9 @@ from .aspe import (
     EncryptedPredicate,
     EncryptedPublication,
     EncryptedSubscription,
+    PackedMatrixView,
     match_encrypted,
+    match_packed,
 )
 from .aspe_split import AspeSplitCipher, AspeSplitKey
 from .backends import (
@@ -48,9 +50,11 @@ __all__ = [
     "MatchResult",
     "MatchingBackend",
     "Op",
+    "PackedMatrixView",
     "Predicate",
     "PredicateSet",
     "SampledBackend",
     "match_encrypted",
+    "match_packed",
     "sample_binomial",
 ]

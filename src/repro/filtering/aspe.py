@@ -33,6 +33,7 @@ boundary.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -49,6 +50,8 @@ __all__ = [
     "EncryptedPredicate",
     "EncryptedSubscription",
     "AspeLibrary",
+    "PackedMatrixView",
+    "match_packed",
 ]
 
 # Boundary tolerance: |û·q̂| below tol·scale counts as "equal".  The scale
@@ -59,6 +62,11 @@ __all__ = [
 # with the ciphertext norms — a tolerance much above the rounding error
 # flips true non-matches near the boundary into matches.
 _REL_TOL = 1e-13
+
+#: Process-unique tokens for :class:`AspeLibrary` instances (see
+#: :attr:`PackedMatrixView.token`).  ``itertools.count`` is atomic under
+#: the GIL, so allocation needs no lock.
+_INSTANCE_TOKENS = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -211,6 +219,110 @@ _OP_SIGN = {"gt": 1.0, "ge": 1.0, "lt": -1.0, "le": -1.0}
 #: Strict comparisons exclude the tolerance band, non-strict include it.
 _OP_STRICT = {"gt": True, "ge": False, "lt": True, "le": False}
 
+def _fresh_workspace(name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+    """Workspace provider allocating a fresh buffer per request."""
+    return np.empty(shape, dtype=dtype)
+
+
+def match_packed(
+    matrix: np.ndarray,
+    strict: np.ndarray,
+    tol_signed: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    batch: np.ndarray,
+    workspace=None,
+) -> np.ndarray:
+    """Evaluate packed (direction-folded) predicate rows against a batch.
+
+    The shared matching kernel: ``matrix`` is a ``(rows, n)`` block of
+    direction-folded query-vector rows with per-row ``strict`` flags and
+    sign-folded tolerance bases ``tol_signed``; ``starts``/``stops`` are
+    per-span row offsets *relative to this block*; ``batch`` is the
+    ``(B, n)`` stack of publication ciphertext vectors.  Returns the
+    ``(B, len(starts))`` boolean span-conjunction matrix.
+
+    This function is *pure* — a deterministic function of its array
+    arguments with no hidden state — which is what lets
+    :mod:`repro.parallel` ship the packed rows to worker processes and
+    still produce bit-identical decisions: the in-process
+    :meth:`AspeLibrary.match_batch` path and the out-of-process path both
+    run exactly this sequence of vectorized operations.  ``workspace``
+    optionally supplies reusable scratch buffers (``(name, shape, dtype)
+    -> ndarray``); the default allocates fresh ones, which is bit-wise
+    equivalent.
+    """
+    if workspace is None:
+        workspace = _fresh_workspace
+    count = batch.shape[0]
+    rows = matrix.shape[0]
+    # Publication-major layout: every downstream reduction then runs
+    # over contiguous per-publication rows.  All (B × rows) temporaries
+    # come from the workspace and every ufunc writes in place.
+    products = workspace("products", (count, rows), np.float64)
+    np.matmul(batch, matrix.T, out=products)
+    scales = np.linalg.norm(batch, axis=1)
+    scales += 1.0
+    thresholds = workspace("thresholds", (count, rows), np.float64)
+    np.multiply(scales[:, None], tol_signed[None, :], out=thresholds)
+    # Strict rows require product > scale·tol_base; non-strict rows
+    # product ≥ −scale·tol_base.  With the sign folded into the
+    # threshold both become "product > threshold", plus boundary
+    # equality for the non-strict rows only.
+    satisfied = workspace("satisfied", (count, rows), np.bool_)
+    np.greater(products, thresholds, out=satisfied)
+    boundary = workspace("boundary", (count, rows), np.bool_)
+    np.equal(products, thresholds, out=boundary)
+    np.logical_and(boundary, ~strict[None, :], out=boundary)
+    np.logical_or(satisfied, boundary, out=satisfied)
+    # Span conjunction via exclusive prefix sums of unsatisfied rows
+    # (see AspeLibrary._reduce_spans), with the prefix buffer reused.
+    np.logical_not(satisfied, out=boundary)
+    prefix = workspace("prefix", (count, rows + 1), np.int32)
+    prefix[:, 0] = 0
+    np.cumsum(boundary, axis=1, out=prefix[:, 1:])
+    return (prefix[:, stops] - prefix[:, starts]) == 0
+
+
+@dataclass(frozen=True)
+class PackedMatrixView:
+    """Zero-copy view of a library's packed matching state.
+
+    Produced by :meth:`AspeLibrary.packed_view` for the parallel matching
+    executors.  All arrays are *views* into the library's live buffers —
+    valid only until the next ``store``/``remove``/``import_state`` — and
+    must not be mutated.
+
+    ``token`` is unique per library *instance* in this process (a fresh
+    value is drawn on construction and on unpickling), because ``epoch``
+    and ``generation`` are per-instance counters: two views describe
+    identical matching decisions only when *both* token and epoch are
+    equal.  ``epoch`` advances on every semantic change
+    (store/remove/import).  ``generation`` advances only when previously
+    exported row *content* moved or changed (compaction, import): within
+    one (token, generation) the rows below any previously observed
+    ``rows`` cursor are immutable, which is what makes append-only
+    dirty-row deltas sound.
+    """
+
+    token: int
+    epoch: int
+    generation: int
+    rows: int
+    width: int
+    matrix: Optional[np.ndarray]  # (rows, n) or None before the first store
+    strict: Optional[np.ndarray]
+    tol_signed: Optional[np.ndarray]
+    ids: List[int]
+    positions: np.ndarray
+    starts: np.ndarray
+    stops: np.ndarray
+
+    @property
+    def span_count(self) -> int:
+        return int(self.starts.size)
+
+
 #: Initial row capacity of the packed predicate matrix.
 _MIN_CAPACITY = 64
 #: Compact once dead rows outnumber live ones (and exceed this floor), so
@@ -273,6 +385,17 @@ class AspeLibrary(FilteringLibrary):
         #: per-call mmap churn that made batching slower than the
         #: single-publication path.
         self._ws: Dict[str, np.ndarray] = {}
+        #: Process-unique instance identity.  Epoch/generation counters
+        #: are per-instance, so sync caches keyed on them must also key on
+        #: the token — two *different* libraries can reach equal epochs.
+        self._token = next(_INSTANCE_TOKENS)
+        #: Bumped on every semantic mutation (store/remove/import); packed
+        #: views with equal epochs describe identical matching decisions.
+        self._epoch = 0
+        #: Bumped only when previously packed row content moves or changes
+        #: (compaction, import) — the append-only delta invariant of
+        #: :class:`PackedMatrixView`.
+        self._generation = 0
         # Instrumentation: churn benchmarks assert store/remove stays
         # incremental (appends, occasional compactions, no full repacks).
         self.rows_appended = 0
@@ -291,12 +414,14 @@ class AspeLibrary(FilteringLibrary):
         self._subs[sub_id] = filter_data
         self._append_rows(sub_id, filter_data)
         self._index = None
+        self._epoch += 1
         self._maybe_compact()
 
     def remove(self, sub_id: int) -> None:
         del self._subs[sub_id]  # KeyError if unknown
         self._tombstone(sub_id)
         self._index = None
+        self._epoch += 1
         self._maybe_compact()
 
     # -- matching -------------------------------------------------------------
@@ -339,36 +464,19 @@ class AspeLibrary(FilteringLibrary):
             return [list(ids) for _ in publications]
         batch = np.stack([p.vector for p in publications])  # (B, n)
         rows = self._rows
-        count = batch.shape[0]
-        # Publication-major layout: every downstream reduction then runs
-        # over contiguous per-publication rows.  All (B × rows) temporaries
-        # come from the reusable workspace and every ufunc writes in place
-        # — per-call allocation is what made batching lose to the cached
-        # single-publication path.
-        products = self._workspace("products", (count, rows), np.float64)
-        np.matmul(batch, self._matrix[:rows].T, out=products)
-        scales = np.linalg.norm(batch, axis=1)
-        scales += 1.0
-        thresholds = self._workspace("thresholds", (count, rows), np.float64)
-        np.multiply(scales[:, None], self._tol_signed[None, :rows], out=thresholds)
-        # Strict rows require product > scale·tol_base; non-strict rows
-        # product ≥ −scale·tol_base.  With the sign folded into the
-        # threshold both become "product > threshold", plus boundary
-        # equality for the non-strict rows only.
-        satisfied = self._workspace("satisfied", (count, rows), np.bool_)
-        np.greater(products, thresholds, out=satisfied)
-        boundary = self._workspace("boundary", (count, rows), np.bool_)
-        np.equal(products, thresholds, out=boundary)
-        np.logical_and(boundary, ~self._strict[None, :rows], out=boundary)
-        np.logical_or(satisfied, boundary, out=satisfied)
-        # Span conjunction via exclusive prefix sums of unsatisfied rows
-        # (see _reduce_spans), with the prefix buffer reused across calls.
-        np.logical_not(satisfied, out=boundary)
-        prefix = self._workspace("prefix", (count, rows + 1), np.int32)
-        prefix[:, 0] = 0
-        np.cumsum(boundary, axis=1, out=prefix[:, 1:])
-        ok = (prefix[:, stops] - prefix[:, starts]) == 0
-        result = np.ones((count, len(ids)), dtype=bool)
+        # The shared kernel (also run by parallel matching workers) with
+        # the reusable workspace — per-call allocation is what made
+        # batching lose to the cached single-publication path.
+        ok = match_packed(
+            self._matrix[:rows],
+            self._strict[:rows],
+            self._tol_signed[:rows],
+            starts,
+            stops,
+            batch,
+            workspace=self._workspace,
+        )
+        result = np.ones((batch.shape[0], len(ids)), dtype=bool)
         result[:, positions] = ok
         return [[ids[i] for i in np.nonzero(row)[0]] for row in result]
 
@@ -394,7 +502,73 @@ class AspeLibrary(FilteringLibrary):
         for sub_id, subscription in state.items():
             self._subs[sub_id] = subscription
             self._append_rows(sub_id, subscription)
+        self._epoch += 1
+        self._generation += 1
         self.full_pack_count += 1
+
+    def packed_view(self) -> PackedMatrixView:
+        """Zero-copy :class:`PackedMatrixView` of the live packed state.
+
+        Valid until the next mutation; see the view's docstring for the
+        epoch/generation contract the parallel executors rely on.
+        """
+        ids, positions, starts, stops = self._span_index()
+        rows = self._rows
+        matrix = None if self._matrix is None else self._matrix[:rows]
+        return PackedMatrixView(
+            token=self._token,
+            epoch=self._epoch,
+            generation=self._generation,
+            rows=rows,
+            width=0 if self._matrix is None else int(self._matrix.shape[1]),
+            matrix=matrix,
+            strict=None if self._strict is None else self._strict[:rows],
+            tol_signed=(
+                None if self._tol_signed is None else self._tol_signed[:rows]
+            ),
+            ids=ids,
+            positions=positions,
+            starts=starts,
+            stops=stops,
+        )
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self):
+        """Drop scratch state and trim buffers to the rows in use.
+
+        Snapshots shipped to matching workers and ``export_state`` copies
+        made during migration must not serialize dead weight: the
+        workspace buffers (B × rows scratch), the lazily rebuilt span
+        index, the derived tolerance caches (recomputed bit-identically
+        from the stored rows) and the unused tail of the
+        amortized-doubling buffers are all omitted.
+        """
+        state = self.__dict__.copy()
+        state["_ws"] = {}
+        state["_index"] = None
+        state["_tol_base"] = None
+        state["_tol_signed"] = None
+        rows = self._rows
+        if self._matrix is not None:
+            state["_matrix"] = np.ascontiguousarray(self._matrix[:rows])
+            state["_strict"] = self._strict[:rows].copy()
+            state["_alive"] = self._alive[:rows].copy()
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # A restored copy is a new instance whose counters continue from
+        # the pickled values — it must not alias the source's sync
+        # identity in any executor channel.
+        self._token = next(_INSTANCE_TOKENS)
+        if self._matrix is not None:
+            # Recompute the tolerance caches from the stored rows.  The
+            # per-row norm reduction is element-independent, so the values
+            # are bit-identical to the ones computed at append time.
+            base = _REL_TOL * (np.linalg.norm(self._matrix, axis=1) + 1.0)
+            self._tol_base = base
+            self._tol_signed = np.where(self._strict, base, -base)
 
     # -- packed-state maintenance ---------------------------------------------
 
@@ -525,6 +699,8 @@ class AspeLibrary(FilteringLibrary):
         self._rows = int(keep.size)
         self._dead_rows = 0
         self._index = None
+        # Row content moved: previously exported deltas are invalid.
+        self._generation += 1
         self.compaction_count += 1
 
     def _span_index(self):

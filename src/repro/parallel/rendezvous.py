@@ -1,0 +1,52 @@
+"""Completion rendezvous between submit-time and process-time.
+
+The engine calls a handler twice per batch: once at dequeue time
+(``prepare_batch``, where real work is *submitted* to the executor) and
+once at the batch's already-scheduled virtual completion time
+(``process``/``process_batch``, where the result is *collected*).  The
+:class:`CompletionRendezvous` is the tiny mailbox between the two calls:
+futures posted under the batch's head event are taken exactly once at
+completion, and anything still pending when the slice is torn down
+(migration destroys the old instance, recovery rebuilds handlers) is
+cancelled so worker results for a dead slice are discarded, never
+delivered.
+
+Keys are ``id(head_event)``: the head StreamEvent object is alive and
+referenced by the engine's worker loop for the whole submit→process
+window, so its identity is stable and collision-free while the entry
+exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .executor import MatchFuture
+
+__all__ = ["CompletionRendezvous"]
+
+
+class CompletionRendezvous:
+    """In-flight futures keyed by the identity of their batch head event."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, MatchFuture] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def post(self, head_event, future: MatchFuture) -> None:
+        """Register the future submitted for the batch headed by ``head_event``."""
+        self._pending[id(head_event)] = future
+
+    def take(self, head_event) -> Optional[MatchFuture]:
+        """Claim (and forget) the future for ``head_event``, if one was posted."""
+        return self._pending.pop(id(head_event), None)
+
+    def cancel_all(self) -> int:
+        """Cancel every pending future (slice teardown); returns the count."""
+        pending = list(self._pending.values())
+        self._pending.clear()
+        for future in pending:
+            future.cancel()
+        return len(pending)

@@ -9,6 +9,8 @@ partitioning that makes elastic migration application-agnostic.
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -29,6 +31,30 @@ from .operators import (
 )
 
 __all__ = ["HubConfig", "StreamHub"]
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from None
+
+
+def _default_match_workers() -> int:
+    return _env_int("REPRO_MATCH_WORKERS", 0)
+
+
+def _default_match_backend() -> str:
+    return os.environ.get("REPRO_MATCH_BACKEND", "auto")
+
+
+def _default_match_chunk_rows() -> int:
+    return _env_int("REPRO_MATCH_CHUNK_ROWS", 4096)
 
 
 @dataclass
@@ -66,6 +92,23 @@ class HubConfig:
     #: layer records into the same tracer/registry (see OBSERVABILITY.md).
     #: ``None`` (the default) keeps all hot paths on their no-op branch.
     telemetry: Optional["Telemetry"] = None
+    #: Worker processes for parallel matching execution (0 = inline, the
+    #: default).  Defaults from ``REPRO_MATCH_WORKERS`` so an existing
+    #: deployment/test run flips to parallel without code changes.  Only
+    #: engages for backends whose library speaks the packed protocol
+    #: (``ExactBackend`` over ``AspeLibrary``); other backends stay inline.
+    match_workers: int = field(default_factory=_default_match_workers)
+    #: Execution backend: ``auto`` (shm where available, else pool),
+    #: ``shm``, ``pool`` or ``inline``.  From ``REPRO_MATCH_BACKEND``.
+    match_backend: str = field(default_factory=_default_match_backend)
+    #: Minimum packed-matrix rows per worker chunk — keeps small matrices
+    #: from being shredded into per-task overhead.  From
+    #: ``REPRO_MATCH_CHUNK_ROWS``.
+    match_chunk_rows: int = field(default_factory=_default_match_chunk_rows)
+    #: Injected :class:`repro.parallel.MatchExecutor` instance (tests and
+    #: benchmarks).  When ``None`` and ``match_workers > 0`` the hub uses
+    #: the process-wide shared executor for its knobs.
+    match_executor: Optional[object] = None
 
     def __post_init__(self):
         if min(self.ap_slices, self.m_slices, self.ep_slices, self.sink_slices) <= 0:
@@ -76,6 +119,22 @@ class HubConfig:
             raise ValueError("ap_batch_limit must be positive")
         if self.ep_batch_limit <= 0:
             raise ValueError("ep_batch_limit must be positive")
+        if self.match_workers < 0:
+            raise ValueError(
+                f"match_workers must be >= 0 (0 disables parallel matching), "
+                f"got {self.match_workers}"
+            )
+        if self.match_chunk_rows < 1:
+            raise ValueError(
+                f"match_chunk_rows must be >= 1, got {self.match_chunk_rows}"
+            )
+        from ..parallel import BACKENDS
+
+        if self.match_backend not in BACKENDS:
+            raise ValueError(
+                f"match_backend must be one of {BACKENDS}, "
+                f"got {self.match_backend!r}"
+            )
 
     @classmethod
     def sampled(cls, matching_rate: float = 0.01, **kwargs) -> "HubConfig":
@@ -124,6 +183,23 @@ class StreamHub:
             self.runtime.bind_telemetry(self.telemetry)
             network.bind_telemetry(self.telemetry)
             self._delay_hist = self.telemetry.notification_delay
+        #: The matching executor backing this hub's M slices (``None``
+        #: when matching runs inline).  Hubs with identical knobs share
+        #: one process-wide pool unless ``config.match_executor`` injects
+        #: a dedicated instance.
+        self.match_executor = None
+        if config.match_executor is not None:
+            self.match_executor = config.match_executor
+        elif config.match_workers > 0:
+            from ..parallel import shared_executor
+
+            self.match_executor = shared_executor(
+                config.match_workers,
+                config.match_backend,
+                config.match_chunk_rows,
+            )
+        if self.match_executor is not None and self.telemetry is not None:
+            self.match_executor.bind_telemetry(self.telemetry)
         self.delay_tracker = DelayTracker()
         #: Joined notifications in delivery order (subscriber ids are
         #: present in exact-matching mode, ``None`` in sampled mode).
@@ -161,6 +237,7 @@ class StreamHub:
                 encrypted=config.encrypted,
                 exit_operator=self.EP,
                 batch_limit=config.matcher_batch_limit,
+                executor=self.match_executor,
             ),
             parallelism=config.parallelism,
             replay_dedup=False,

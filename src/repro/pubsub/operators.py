@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..engine import BROADCAST, SliceContext, SliceHandler, StreamEvent
-from ..filtering import CostModel, MatchingBackend
+from ..filtering import CostModel, MatchResult, MatchingBackend
 from .messages import MatchList, Notification, Publication, Subscription
 
 __all__ = [
@@ -115,7 +115,17 @@ class AccessPointHandler(SliceHandler):
 
 
 class MatcherHandler(SliceHandler):
-    """M operator: stores a subscription partition, filters publications."""
+    """M operator: stores a subscription partition, filters publications.
+
+    When constructed with a :class:`repro.parallel.MatchExecutor`, the
+    matching work of each publication batch is *submitted* to the worker
+    pool at dequeue time (:meth:`prepare_batch`) and collected at the
+    batch's scheduled completion time — overlapping real CPU across
+    concurrent M slices without touching the simulated trajectory.  The
+    offload engages only when the backend's library supports the packed
+    protocol (``ExactBackend.parallel_library()``); everything else, and
+    ``executor=None``, matches inline exactly as before.
+    """
 
     def __init__(
         self,
@@ -125,6 +135,7 @@ class MatcherHandler(SliceHandler):
         encrypted: bool = True,
         exit_operator: str = "EP",
         batch_limit: int = 1,
+        executor=None,
     ):
         if batch_limit <= 0:
             raise ValueError("batch_limit must be positive")
@@ -139,8 +150,21 @@ class MatcherHandler(SliceHandler):
         self.publications_matched = 0
         #: Publications that arrived in coalesced batches of size > 1.
         self.publications_batched = 0
+        #: Batches whose matching ran on the worker pool.
+        self.batches_offloaded = 0
         #: sub_id → subscriber, resolved when emitting match lists.
         self._subscribers: Dict[int, int] = {}
+        self.executor = executor
+        parallel_library = None
+        if executor is not None and hasattr(backend, "parallel_library"):
+            parallel_library = backend.parallel_library()
+        self._parallel_library = parallel_library
+        self._channel = None
+        self._rendezvous = None
+        if parallel_library is not None:
+            from ..parallel import CompletionRendezvous
+
+            self._rendezvous = CompletionRendezvous()
 
     def cost(self, event: StreamEvent) -> float:
         if event.kind == KIND_PUBLICATION:
@@ -161,6 +185,50 @@ class MatcherHandler(SliceHandler):
     def coalesce_with(self, head: StreamEvent, candidate: StreamEvent) -> bool:
         return candidate.kind == KIND_PUBLICATION
 
+    def prepare_batch(self, events, ctx: SliceContext) -> None:
+        """Submit the batch's matching work to the worker pool, if any.
+
+        Runs at dequeue time under the batch's "R" lock — the library
+        cannot mutate until every in-flight publication holder releases
+        it, so the packed view copied out here is stable.  Schedules no
+        simulation events; the future parks in the rendezvous until
+        :meth:`process`/:meth:`process_batch` collects it at the batch's
+        scheduled virtual completion time.
+        """
+        if self._rendezvous is None or events[0].kind != KIND_PUBLICATION:
+            return
+        if self._channel is None:
+            self._channel = self.executor.open_channel(f"M:{self.slice_index}")
+        future = self._channel.submit(
+            self._parallel_library, [event.payload.payload for event in events]
+        )
+        self._rendezvous.post(events[0], future)
+
+    def detach(self) -> None:
+        """Slice teardown (migration/recovery): drop in-flight work."""
+        if self._rendezvous is not None:
+            self._rendezvous.cancel_all()
+        if self._channel is not None:
+            self._channel.close()
+            self._channel = None
+
+    def _collect(self, head_event, publications) -> Optional[List[Any]]:
+        """Claim the offloaded results for the batch headed by ``head_event``.
+
+        Returns one :class:`MatchResult` per publication, or ``None`` when
+        the batch was never offloaded (no executor, subscription events,
+        non-packed backend) — callers then match inline.
+        """
+        if self._rendezvous is None:
+            return None
+        future = self._rendezvous.take(head_event)
+        if future is None:
+            return None
+        self.batches_offloaded += 1
+        return [
+            MatchResult(count=len(ids), ids=ids) for ids in future.result()
+        ]
+
     def process(self, event: StreamEvent, ctx: SliceContext) -> None:
         if event.kind == KIND_SUBSCRIPTION:
             subscription: Subscription = event.payload
@@ -168,7 +236,11 @@ class MatcherHandler(SliceHandler):
             self._subscribers[subscription.sub_id] = subscription.subscriber
         elif event.kind == KIND_PUBLICATION:
             publication: Publication = event.payload
-            result = self.backend.match(publication.pub_id, publication.payload)
+            collected = self._collect(event, [publication])
+            if collected is not None:
+                result = collected[0]
+            else:
+                result = self.backend.match(publication.pub_id, publication.payload)
             telemetry = getattr(ctx, "telemetry", None)
             if telemetry is not None and telemetry.matcher_publications is not None:
                 telemetry.matcher_publications.inc()
@@ -187,10 +259,12 @@ class MatcherHandler(SliceHandler):
         of simulated network transfers shrink.
         """
         publications = [event.payload for event in events]
-        results = self.backend.match_batch(
-            [publication.pub_id for publication in publications],
-            [publication.payload for publication in publications],
-        )
+        results = self._collect(events[0], publications)
+        if results is None:
+            results = self.backend.match_batch(
+                [publication.pub_id for publication in publications],
+                [publication.payload for publication in publications],
+            )
         telemetry = getattr(ctx, "telemetry", None)
         if telemetry is not None and telemetry.matcher_publications is not None:
             telemetry.matcher_publications.inc(len(results))

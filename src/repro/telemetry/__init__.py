@@ -129,6 +129,10 @@ class Telemetry:
             self.net_bytes = None
             self.matcher_publications = None
             self.matcher_matches = None
+            self.match_pool_inflight_batches = None
+            self.match_pool_queued_tasks = None
+            self.match_worker_busy_fraction = None
+            self.match_matrix_resyncs = None
             self.notification_delay = None
             self.migrations = None
             self.migration_state_bytes = None
@@ -181,6 +185,25 @@ class Telemetry:
         self.matcher_matches = m.counter(
             "matcher_matches_total",
             "Subscriptions matched across all filtered publications",
+        )
+        # Parallel matching worker pool (repro.parallel; wall-clock-side
+        # signals about real worker processes, not simulated quantities).
+        self.match_pool_inflight_batches = m.gauge(
+            "match_pool_inflight_batches",
+            "Publication batches submitted to the matching pool, not yet collected",
+        )
+        self.match_pool_queued_tasks = m.gauge(
+            "match_pool_queued_tasks",
+            "Chunk tasks submitted to the matching pool, not yet collected",
+        )
+        self.match_worker_busy_fraction = m.gauge(
+            "match_worker_busy_fraction",
+            "Fraction of wall-clock time each matching worker spent computing",
+            labels=("worker",),
+        )
+        self.match_matrix_resyncs = m.counter(
+            "match_matrix_resyncs_total",
+            "Full packed-matrix re-ships to matching workers (vs incremental deltas)",
         )
         self.notification_delay = m.histogram(
             "notification_delay_seconds",

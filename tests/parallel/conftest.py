@@ -1,0 +1,53 @@
+"""Shared fixtures for parallel-matching tests.
+
+Process-backed executors (pool/shm) fork real workers, so they are
+module-scoped and shared across the tests of a module; the inline
+executor is free to build per test.
+"""
+
+import random
+
+import pytest
+
+from repro.filtering import (
+    AspeCipher,
+    AspeKey,
+    Op,
+    Predicate,
+    PredicateSet,
+)
+from repro.parallel import available_backends, create_executor
+
+#: Backends exercised by equivalence tests on this platform ("inline"
+#: always; "pool" always; "shm" on POSIX).
+PARALLEL_BACKENDS = tuple(b for b in available_backends() if b != "inline")
+
+
+@pytest.fixture(scope="module")
+def cipher():
+    key = AspeKey.generate(dimensions=4, rng=random.Random(42))
+    return AspeCipher(key, rng=random.Random(17))
+
+
+def random_filter(rng):
+    predicates = []
+    for _ in range(rng.randint(1, 3)):
+        attribute = rng.randrange(4)
+        op = rng.choice([Op.LT, Op.LE, Op.GT, Op.GE, Op.EQ])
+        predicates.append(Predicate(attribute, op, rng.uniform(0.0, 100.0)))
+    return PredicateSet.of(*predicates)
+
+
+def encrypted_publications(cipher, rng, count):
+    return [
+        cipher.encrypt_publication([rng.uniform(0.0, 100.0) for _ in range(4)])
+        for _ in range(count)
+    ]
+
+
+@pytest.fixture(scope="module", params=PARALLEL_BACKENDS)
+def process_executor(request):
+    """One started process-backed executor per backend, shared per module."""
+    executor = create_executor(2, request.param, chunk_rows=8)
+    yield executor
+    executor.shutdown()

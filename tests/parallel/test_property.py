@@ -1,0 +1,97 @@
+"""Property test: serial and parallel matching are the same function.
+
+Hypothesis drives arbitrary churn streams — stores, removes (tombstones),
+enough removals to trigger compaction, and export/import migrations —
+and after every mutation burst checks that a parallel ``submit().result()``
+equals the serial ``match_batch`` answer exactly: same subscriber ids,
+same per-publication order.  One executor per process-backed backend is
+shared across examples (module-scoped), so examples also exercise stale
+worker caches left behind by *previous* examples' libraries.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.filtering import AspeLibrary
+from repro.parallel import InlineMatchExecutor
+
+from .conftest import encrypted_publications, random_filter
+
+SUB_IDS = 24
+
+#: One churn step: (action, subject). Action 0/1 → store, 2 → remove,
+#: 3 → migrate (export/import into a fresh library), 4 → compaction
+#: pressure (remove half the stored ids).  Stores outweigh removes so
+#: libraries keep content to match against.
+STEPS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=4), st.integers(0, SUB_IDS - 1)),
+    min_size=4,
+    max_size=40,
+)
+
+
+def apply_step(library, stored, pool, step):
+    action, subject = step
+    if action in (0, 1):
+        library.store(subject, pool[subject])
+        stored.add(subject)
+        return library
+    if action == 2:
+        if subject in stored:
+            library.remove(subject)
+            stored.discard(subject)
+        return library
+    if action == 3:
+        clone = AspeLibrary()
+        clone.import_state(library.export_state())
+        return clone
+    for sub_id in sorted(stored)[: len(stored) // 2]:
+        library.remove(sub_id)
+        stored.discard(sub_id)
+    return library
+
+
+def run_property(cipher, executor, steps, seed):
+    rng = random.Random(seed)
+    pool = {
+        i: cipher.encrypt_subscription(random_filter(rng)) for i in range(SUB_IDS)
+    }
+    library = AspeLibrary()
+    stored = set()
+    channel = executor.open_channel("P")
+    try:
+        for step in steps:
+            library = apply_step(library, stored, pool, step)
+            pubs = encrypted_publications(cipher, rng, 3)
+            parallel = channel.submit(library, pubs).result()
+            serial = library.match_batch(pubs)
+            assert parallel == serial
+    finally:
+        channel.close()
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(steps=STEPS, seed=st.integers(0, 2**16))
+def test_inline_equals_serial_under_churn(cipher, steps, seed):
+    executor = InlineMatchExecutor(workers=3, chunk_rows=4)
+    try:
+        run_property(cipher, executor, steps, seed)
+    finally:
+        executor.shutdown()
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(steps=STEPS, seed=st.integers(0, 2**16))
+def test_workers_equal_serial_under_churn(cipher, process_executor, steps, seed):
+    run_property(cipher, process_executor, steps, seed)

@@ -55,6 +55,55 @@ def test_duplicate_notification_suppression_counter():
     assert h.hub.duplicate_notifications == 1
 
 
+def test_match_knob_validation_rejects_bad_values():
+    with pytest.raises(ValueError, match="match_workers must be >= 0"):
+        small_exact_config(match_workers=-1)
+    with pytest.raises(ValueError, match="match_chunk_rows must be >= 1"):
+        small_exact_config(match_chunk_rows=0)
+    with pytest.raises(ValueError, match="match_backend"):
+        small_exact_config(match_backend="bogus")
+
+
+def test_match_knobs_default_from_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_MATCH_WORKERS", "3")
+    monkeypatch.setenv("REPRO_MATCH_BACKEND", "pool")
+    monkeypatch.setenv("REPRO_MATCH_CHUNK_ROWS", "512")
+    config = small_exact_config()
+    assert config.match_workers == 3
+    assert config.match_backend == "pool"
+    assert config.match_chunk_rows == 512
+
+
+def test_match_knobs_defaults_without_environment(monkeypatch):
+    for name in ("REPRO_MATCH_WORKERS", "REPRO_MATCH_BACKEND", "REPRO_MATCH_CHUNK_ROWS"):
+        monkeypatch.delenv(name, raising=False)
+    config = small_exact_config()
+    assert config.match_workers == 0
+    assert config.match_backend == "auto"
+    assert config.match_chunk_rows == 4096
+
+
+def test_match_workers_env_rejects_non_integers(monkeypatch):
+    monkeypatch.setenv("REPRO_MATCH_WORKERS", "many")
+    with pytest.raises(ValueError, match="REPRO_MATCH_WORKERS"):
+        small_exact_config()
+
+
+def test_injected_executor_is_used_verbatim():
+    from repro.parallel import InlineMatchExecutor
+
+    executor = InlineMatchExecutor()
+    h = HubHarness(small_exact_config(match_executor=executor))
+    assert h.hub.match_executor is executor
+    executor.shutdown()
+
+
+def test_zero_workers_without_injection_has_no_executor(monkeypatch):
+    monkeypatch.delenv("REPRO_MATCH_WORKERS", raising=False)
+    h = HubHarness(small_exact_config())
+    assert h.hub.match_executor is None
+
+
 def test_deploy_all_on_places_engine_and_sink_separately():
     h = HubHarness(small_exact_config(), engine_hosts=2)
     placement = h.hub.runtime.placement()
