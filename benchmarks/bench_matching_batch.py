@@ -25,6 +25,8 @@ from repro.filtering import AspeCipher, AspeKey, AspeLibrary, match_encrypted
 from repro.metrics import write_json
 from repro.workloads import WorkloadGenerator
 
+from conftest import memory_snapshot
+
 SUBSCRIPTIONS = 2_000
 PUBLICATIONS = 20
 RESULTS = {}
@@ -162,6 +164,7 @@ def test_store_remove_churn(benchmark, report):
                 "dimensions": 4,
             },
             "results": dict(RESULTS),
+            "memory": memory_snapshot(),
         },
     )
     report(f"  exported        : {path}")

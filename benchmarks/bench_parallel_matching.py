@@ -40,7 +40,7 @@ from repro.parallel import create_executor
 from repro.pubsub import HubConfig, Publication, StreamHub, Subscription
 from repro.sim import Environment
 
-from conftest import run_once
+from conftest import memory_snapshot, run_once
 
 SUBSCRIPTIONS = 2400
 PUBLICATIONS = 400
@@ -238,6 +238,7 @@ def test_parallel_matching_sweep(benchmark, report):
                     "asserted": assert_target,
                 },
             },
+            "memory": memory_snapshot(),
         },
     )
     report(f"  exported        : {path}")

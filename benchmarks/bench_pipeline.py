@@ -36,7 +36,7 @@ from repro.metrics import write_json
 from repro.pubsub import HubConfig, Publication, StreamHub, Subscription
 from repro.sim import Environment
 
-from conftest import run_once
+from conftest import memory_snapshot, run_once
 
 SUBSCRIPTIONS = 120
 PUBLICATIONS = 2_000
@@ -176,6 +176,7 @@ def test_pipeline_batched_vs_per_event(benchmark, report):
                 "engine_hosts": ENGINE_HOSTS,
             },
             "results": dict(RESULTS),
+            "memory": memory_snapshot(),
         },
     )
     report(f"  exported        : {path}")

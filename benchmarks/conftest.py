@@ -10,9 +10,15 @@ Environment knobs:
 * ``REPRO_BENCH_SCALE`` (float, default 1.0) multiplies each experiment's
   default time scale; values below 1 shorten runs at the cost of rougher
   elasticity dynamics (see EXPERIMENTS.md).
+* ``REPRO_BENCH_TRACEMALLOC`` (default off) additionally traces Python
+  allocations and attaches the top allocation sites to each benchmark's
+  exported ``memory`` record — slow, for memory debugging only.
 """
 
 import os
+import resource
+import sys
+import tracemalloc
 
 import pytest
 
@@ -20,6 +26,56 @@ import pytest
 def bench_scale() -> float:
     """Global multiplier for the experiments' default time scales."""
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def _tracemalloc_enabled() -> bool:
+    return os.environ.get("REPRO_BENCH_TRACEMALLOC", "").strip() not in ("", "0")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _tracemalloc_session():
+    """Trace Python allocations for the whole run when the knob is set."""
+    started = False
+    if _tracemalloc_enabled() and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        started = True
+    yield
+    if started:
+        tracemalloc.stop()
+
+
+def peak_rss_bytes() -> int:
+    """Process high-water RSS in bytes (``ru_maxrss`` is KiB on Linux)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+def memory_snapshot(top: int = 10) -> dict:
+    """Peak-memory record attached to every exported bench payload.
+
+    Always carries the getrusage high-water RSS; with
+    ``REPRO_BENCH_TRACEMALLOC`` set it adds traced Python heap totals and
+    the ``top`` largest allocation sites.
+    """
+    snapshot = {"peak_rss_bytes": peak_rss_bytes()}
+    if tracemalloc.is_tracing():
+        current, peak = tracemalloc.get_traced_memory()
+        stats = tracemalloc.take_snapshot().statistics("lineno")[:top]
+        snapshot["tracemalloc"] = {
+            "current_bytes": current,
+            "peak_bytes": peak,
+            "top": [
+                {
+                    "site": str(stat.traceback),
+                    "bytes": stat.size,
+                    "count": stat.count,
+                }
+                for stat in stats
+            ],
+        }
+    return snapshot
 
 
 @pytest.fixture

@@ -75,6 +75,43 @@ def _add_match_options(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_options(p: argparse.ArgumentParser) -> None:
+    """Out-of-core packed-row store knobs (exact ASPE backends only)."""
+    from .filtering import STORE_BACKENDS
+
+    p.add_argument(
+        "--store-backend", choices=list(STORE_BACKENDS), default=None,
+        help="packed-row backing store (default: REPRO_STORE_BACKEND or dense)",
+    )
+    p.add_argument(
+        "--store-chunk-rows", type=_positive_chunk_rows, default=None,
+        help="rows per store chunk (default: REPRO_STORE_CHUNK_ROWS or 65536)",
+    )
+    p.add_argument(
+        "--store-memory-budget-mb", type=float, default=None,
+        help="mmap resident-set budget per library in MiB (0 = unbounded)",
+    )
+    p.add_argument(
+        "--store-compact-dead-ratio", type=float, default=None,
+        help="compact once dead rows exceed this fraction (0 < r <= 1)",
+    )
+
+
+def _store_overrides(args) -> dict:
+    """HubConfig store kwargs for the --store-* flags the user passed."""
+    overrides = {}
+    for attr, field in (
+        ("store_backend", "store_backend"),
+        ("store_chunk_rows", "store_chunk_rows"),
+        ("store_memory_budget_mb", "store_memory_budget_mb"),
+        ("store_compact_dead_ratio", "store_compact_dead_ratio"),
+    ):
+        value = getattr(args, attr, None)
+        if value is not None:
+            overrides[field] = value
+    return overrides
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -123,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-migration", action="store_true",
                    help="skip the mid-run M slice migration")
     _add_match_options(p)
+    _add_store_options(p)
 
     p = sub.add_parser(
         "metrics",
@@ -134,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write to this file instead of stdout")
     p.add_argument("--publications", type=int, default=200)
     _add_match_options(p)
+    _add_store_options(p)
     return parser
 
 
@@ -293,6 +332,7 @@ def _telemetry_demo(
     match_workers: int = 0,
     match_backend: str = "auto",
     match_chunk_rows: int = 4096,
+    store_overrides: Optional[dict] = None,
 ):
     """One small telemetry-enabled deployment, fully deterministic.
 
@@ -333,6 +373,7 @@ def _telemetry_demo(
         match_workers=match_workers,
         match_backend=match_backend,
         match_chunk_rows=match_chunk_rows,
+        **(store_overrides or {}),
     )
     cipher = None
     if match_workers > 0:
@@ -389,6 +430,7 @@ def _cmd_trace(args) -> None:
         match_workers=args.match_workers,
         match_backend=args.match_backend,
         match_chunk_rows=args.match_chunk_rows,
+        store_overrides=_store_overrides(args),
     )
     tel.tracer.write_jsonl(args.out)
     print(f"trace: {len(tel.tracer.spans)} spans -> {args.out}")
@@ -428,6 +470,7 @@ def _cmd_metrics(args) -> None:
         match_workers=args.match_workers,
         match_backend=args.match_backend,
         match_chunk_rows=args.match_chunk_rows,
+        store_overrides=_store_overrides(args),
     )
     registry = tel.metrics
     if args.fmt == "table":

@@ -9,7 +9,12 @@ from .selection import (
     select_slices_greedy_cpu,
 )
 from .binpack import HostBin, NEW_HOST_PREFIX, Placement, first_fit_decreasing
-from .enforcer import ElasticityEnforcer, PlannedMigration, ScalingDecision
+from .enforcer import (
+    ElasticityEnforcer,
+    PlannedMigration,
+    PlannedShardOp,
+    ScalingDecision,
+)
 from .manager import ElasticityManager, ManagerRecord
 
 __all__ = [
@@ -22,6 +27,7 @@ __all__ = [
     "NEW_HOST_PREFIX",
     "Placement",
     "PlannedMigration",
+    "PlannedShardOp",
     "ProbeCollector",
     "ProbeSet",
     "ScalingDecision",

@@ -44,6 +44,8 @@ class ManagerRecord:
     #: Failed steps: provisioning shortfalls, failed or untargetable
     #: migrations, releases blocked by still-occupied hosts.
     failures: int = 0
+    #: Same-host shard splits/merges actually completed.
+    shard_ops: int = 0
 
 
 class ElasticityManager:
@@ -102,6 +104,8 @@ class ElasticityManager:
         self.probe_listeners = []
         self.history: List[ManagerRecord] = []
         self.migration_reports: List[MigrationReport] = []
+        #: Completed :class:`~repro.engine.ShardOpReport` records.
+        self.shard_op_reports = []
         self._executing = False
         self._last_action_at = -float("inf")
         self._started = False
@@ -155,6 +159,7 @@ class ElasticityManager:
     def _execute(self, decision: ScalingDecision):
         failures = 0
         released = 0
+        shard_ops_done = 0
         tracer = self.telemetry.tracer if self.telemetry is not None else None
         span = None
         if tracer is not None and tracer.enabled:
@@ -163,6 +168,7 @@ class ElasticityManager:
                 kind=decision.kind.value,
                 migrations=len(decision.migrations),
                 new_hosts=decision.new_hosts,
+                shard_ops=len(decision.shard_ops),
             )
         try:
             new_hosts: Dict[str, Host] = {}
@@ -198,6 +204,18 @@ class ElasticityManager:
                 self.migration_reports.append(report)
                 self._record_migration(report)
 
+            for planned in decision.shard_ops:
+                process = self.hub.runtime.reshard(planned.slice_id, planned.op)
+                try:
+                    report = yield process
+                except Exception:
+                    # Not applicable anymore (e.g. a single-subscription
+                    # shard) or the slice started migrating meanwhile.
+                    failures += 1
+                    continue
+                shard_ops_done += 1
+                self.shard_op_reports.append(report)
+
             released = 0
             placement = self.hub.runtime.placement()
             occupied = set(placement.values())
@@ -220,12 +238,16 @@ class ElasticityManager:
                     new_hosts=decision.new_hosts,
                     released_hosts=released,
                     failures=failures,
+                    shard_ops=shard_ops_done,
                 )
             )
         finally:
             if span is not None:
                 tracer.finish_span(
-                    span, released_hosts=released, failures=failures
+                    span,
+                    released_hosts=released,
+                    failures=failures,
+                    shard_ops=shard_ops_done,
                 )
             self._last_action_at = self.env.now
             self._executing = False

@@ -32,6 +32,8 @@ class SliceProbe:
     queue_length: int
     #: Events processed during the window.
     processed_delta: int = 0
+    #: Key-range shards the slice's handler holds (0 = not shardable).
+    shard_count: int = 0
 
     def demand_cores(
         self, window_s: float, cap_cores: float = 16.0, drain_windows: float = 3.0
@@ -182,6 +184,7 @@ class ProbeCollector:
                 memory_bytes=stats["state_bytes"] + self.cost_model.slice_base_bytes,
                 queue_length=stats["queue_length"],
                 processed_delta=max(0, stats["processed"] - previous_processed),
+                shard_count=stats.get("shards", 0),
             )
         probe_set = ProbeSet(
             time=self.env.now, window_s=self.interval_s, hosts=hosts, slices=slices

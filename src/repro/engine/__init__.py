@@ -10,7 +10,13 @@ from .event import StreamEvent
 from .handler import BROADCAST, SliceContext, SliceHandler
 from .instance import SliceInstance
 from .locks import RWLock
-from .migration import MigrationError, MigrationReport, migrate_slice
+from .migration import (
+    MigrationError,
+    MigrationReport,
+    ShardOpReport,
+    migrate_slice,
+    reshard_slice,
+)
 from .runtime import EngineRuntime, LogicalSlice, MigrationCosts, OperatorInfo
 from .retention import RetentionBuffer, RetentionLog
 from .checkpoint import Checkpoint, CheckpointStore
@@ -31,9 +37,11 @@ __all__ = [
     "ReliabilityCoordinator",
     "RetentionBuffer",
     "RetentionLog",
+    "ShardOpReport",
     "SliceContext",
     "SliceHandler",
     "SliceInstance",
     "StreamEvent",
     "migrate_slice",
+    "reshard_slice",
 ]

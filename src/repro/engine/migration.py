@@ -30,15 +30,30 @@ The phases tile ``[started_at, completed_at]`` exactly, so their durations
 sum to :attr:`MigrationReport.duration_s`, and the pause + copy phases
 together equal :attr:`MigrationReport.interruption_s` — the Fig. 7 signal,
 now visible per migration instead of only in aggregate.
+
+:func:`reshard_slice` runs the same five-phase protocol for a *same-host*
+reorganization: a key-range shard split or merge inside a slice whose
+handler supports runtime resharding (see
+:class:`~repro.filtering.ShardedAspeLibrary`).  The state is adopted by
+reference — same process, same host — so the copy phase charges CPU only
+for the rows the shard operation physically rewrites (zero for merges
+and boundary-aligned splits) instead of serializing the whole partition.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..cluster import Host
 
-__all__ = ["MigrationReport", "MigrationError", "migrate_slice"]
+__all__ = [
+    "MigrationReport",
+    "MigrationError",
+    "ShardOpReport",
+    "migrate_slice",
+    "reshard_slice",
+]
 
 
 class MigrationError(RuntimeError):
@@ -211,4 +226,173 @@ def migrate_slice(runtime, slice_id: str, dest_host: Host):
         telemetry.migration_state_bytes.inc(state_bytes)
         telemetry.migration_duration.observe(report.duration_s)
         telemetry.migration_interruption.observe(report.interruption_s)
+    return report
+
+
+@dataclass(frozen=True)
+class ShardOpReport:
+    """Outcome of one completed runtime shard split or merge.
+
+    Returned as the value of the coordinating process started by
+    :meth:`~repro.engine.runtime.EngineRuntime.reshard`.
+    """
+
+    #: Logical id of the resharded slice (e.g. ``"M:3"``).
+    slice_id: str
+    #: ``"split"`` or ``"merge"``.
+    op: str
+    #: Host the slice runs on (resharding never changes placement).
+    host: str
+    #: Key the range was cut (split) or rejoined (merge) at.
+    pivot_key: Optional[int]
+    #: Shard count of the slice before/after the operation.
+    shards_before: int
+    shards_after: int
+    #: Subscriptions whose shard assignment changed.
+    moved_subscriptions: int
+    #: Packed rows physically copied (0 for merges and boundary splits).
+    rows_rewritten: int
+    #: Bytes of those rows — the CPU-charged "state copy" of this protocol.
+    state_bytes: int
+    #: Simulated time the coordinator started / finished.
+    started_at: float
+    completed_at: float
+    #: Duration of the stop-reshard-resume window (actual interruption).
+    interruption_s: float
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-to-wall reshard time (``completed_at - started_at``)."""
+        return self.completed_at - self.started_at
+
+
+def reshard_slice(
+    runtime,
+    slice_id: str,
+    op: str,
+    shard_index: Optional[int] = None,
+    pivot_key: Optional[int] = None,
+):
+    """Coordinator process generator for one same-host shard split/merge.
+
+    Drive it with :meth:`EngineRuntime.reshard`; the process's value is a
+    :class:`ShardOpReport`.  The protocol reuses the migration machinery
+    (§IV-A) unchanged — duplicate-and-buffer, drain to cutoffs, halt,
+    swap, resume with the timestamp vector — but the "copy" adopts the
+    origin handler's state by reference on the same host, so the only
+    state cost is the CPU for rows the shard operation rewrites.
+    """
+    from .instance import SliceInstance
+
+    env = runtime.env
+    costs = runtime.migration_costs
+    if op not in ("split", "merge"):
+        raise MigrationError(f"unknown shard operation {op!r}")
+    logical = runtime.slices.get(slice_id)
+    if logical is None:
+        raise MigrationError(f"unknown slice {slice_id!r}")
+    if logical.active is None:
+        raise MigrationError(f"slice {slice_id} is not deployed")
+    if logical.pending is not None:
+        raise MigrationError(f"slice {slice_id} is already migrating")
+    origin = logical.active
+    handler = origin.handler
+    if not getattr(handler, "can_reshard", lambda _op: False)(op):
+        raise MigrationError(
+            f"slice {slice_id} cannot {op}: handler does not support it "
+            f"or the operation is not applicable right now"
+        )
+
+    started_at = env.now
+    host = origin.host
+    info = runtime.operators[logical.operator]
+    telemetry = runtime.telemetry
+    tracer = telemetry.tracer if telemetry is not None else None
+    root = phase = None
+    if tracer is not None and tracer.enabled:
+        root = tracer.start_span(
+            "reshard", slice=slice_id, op=op, host=host.host_id
+        )
+        phase = tracer.start_span("reshard.pre", parent=root)
+
+    # (2) Same protocol as a migration: a buffering twin instance on the
+    # *same* host receives duplicated events while the origin drains.
+    yield env.timeout(costs.pre_s)
+    destination = SliceInstance(
+        runtime,
+        slice_id,
+        info.handler_factory(logical.index),
+        host,
+        parallelism=info.parallelism,
+        buffering=True,
+    )
+    logical.pending = destination
+    cutoffs = runtime.sent_cutoffs(slice_id)
+    if phase is not None:
+        tracer.finish_span(phase)
+        phase = tracer.start_span("reshard.sync", parent=root)
+
+    # (3) Drain to the duplication cutoffs, then quiesce the origin.
+    yield origin.wait_until_processed(cutoffs)
+    interruption_start = env.now
+    if phase is not None:
+        tracer.finish_span(phase)
+        phase = tracer.start_span("reshard.pause", parent=root)
+    yield origin.halt()
+    if phase is not None:
+        tracer.finish_span(phase)
+        phase = tracer.start_span("reshard.copy", parent=root)
+
+    # (4) Adopt the state by reference and perform the shard operation.
+    # Only the physically rewritten rows cost CPU — a merge or a
+    # boundary-aligned split swaps chunk ownership and charges nothing.
+    vector = dict(origin.last_processed)
+    destination.handler.adopt_from(handler)
+    result = destination.handler.reshard(
+        op, shard_index=shard_index, pivot_key=pivot_key
+    )
+    state_bytes = result.bytes_rewritten
+    rework_cpu = state_bytes * (
+        costs.serialize_s_per_byte + costs.deserialize_s_per_byte
+    )
+    if rework_cpu > 0:
+        yield from host.cpu.run(rework_cpu, tag=slice_id)
+    destination.activate(vector)
+    logical.active = destination
+    logical.pending = None
+    origin.destroy()
+    interruption_end = env.now
+    if phase is not None:
+        tracer.finish_span(phase, rows_rewritten=result.rows_rewritten)
+        phase = tracer.start_span("reshard.post", parent=root)
+
+    # (5) Final configuration update.
+    yield env.timeout(costs.post_s)
+    runtime.shard_ops_completed += 1
+    report = ShardOpReport(
+        slice_id=slice_id,
+        op=op,
+        host=host.host_id,
+        pivot_key=result.pivot_key,
+        shards_before=result.shards_before,
+        shards_after=result.shards_after,
+        moved_subscriptions=result.moved_subscriptions,
+        rows_rewritten=result.rows_rewritten,
+        state_bytes=state_bytes,
+        started_at=started_at,
+        completed_at=env.now,
+        interruption_s=interruption_end - interruption_start,
+    )
+    if phase is not None:
+        tracer.finish_span(phase)
+        tracer.finish_span(
+            root,
+            op=op,
+            shards_after=report.shards_after,
+            rows_rewritten=report.rows_rewritten,
+            interruption_s=report.interruption_s,
+            duration_s=report.duration_s,
+        )
+    if telemetry is not None and telemetry.shard_operations is not None:
+        telemetry.shard_operations.labels(op=op).inc()
     return report

@@ -94,6 +94,7 @@ class EngineRuntime:
         self._next_seq_by_src: Dict[str, Dict[str, int]] = {}
         self._next_seq_by_dst: Dict[str, Dict[str, int]] = {}
         self.migrations_completed = 0
+        self.shard_ops_completed = 0
         #: Upstream retention for crash recovery; None unless enabled.
         self.retention = None
         #: Observability bundle (:class:`repro.telemetry.Telemetry`), or
@@ -184,12 +185,14 @@ class EngineRuntime:
 
     def slice_stats(self, slice_id: str) -> Dict[str, Any]:
         instance = self._active(slice_id)
+        shard_count = getattr(instance.handler, "shard_count", None)
         return {
             "host": instance.host.host_id,
             "queue_length": instance.queue_length,
             "processed": instance.processed_count,
             "state_bytes": instance.handler.state_size_bytes(),
             "migrating": self._logical(slice_id).pending is not None,
+            "shards": shard_count() if callable(shard_count) else 0,
         }
 
     # -- routing --------------------------------------------------------------------
@@ -366,6 +369,26 @@ class EngineRuntime:
         from .migration import migrate_slice
 
         return self.env.process(migrate_slice(self, slice_id, dest_host))
+
+    def reshard(
+        self,
+        slice_id: str,
+        op: str,
+        shard_index: Optional[int] = None,
+        pivot_key: Optional[int] = None,
+    ):
+        """Start a same-host shard split/merge; returns the process.
+
+        The process's value is a :class:`~repro.engine.migration.
+        ShardOpReport`.
+        """
+        from .migration import reshard_slice
+
+        return self.env.process(
+            reshard_slice(
+                self, slice_id, op, shard_index=shard_index, pivot_key=pivot_key
+            )
+        )
 
     # -- internals ----------------------------------------------------------------------
 

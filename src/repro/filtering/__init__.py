@@ -6,6 +6,8 @@
 * :mod:`repro.filtering.aspe` — real ASPE encrypted filtering.
 * :mod:`repro.filtering.backends` — exact/sampled matching backends used
   by simulated M-operator slices.
+* :mod:`repro.filtering.store` — chunked/mmap packed-row backing stores
+  and key-range shard split/merge (DESIGN.md §8).
 * :mod:`repro.filtering.cost` — the calibrated CPU/size cost model.
 """
 
@@ -24,6 +26,14 @@ from .aspe import (
     match_packed,
 )
 from .aspe_split import AspeSplitCipher, AspeSplitKey
+from .store import (
+    STORE_BACKENDS,
+    AspeShard,
+    ChunkedMatrixStore,
+    ShardOpResult,
+    ShardedAspeLibrary,
+    StoreConfig,
+)
 from .backends import (
     ExactBackend,
     MatchResult,
@@ -37,8 +47,14 @@ __all__ = [
     "AspeCipher",
     "AspeKey",
     "AspeLibrary",
+    "AspeShard",
     "AspeSplitCipher",
     "AspeSplitKey",
+    "ChunkedMatrixStore",
+    "STORE_BACKENDS",
+    "ShardOpResult",
+    "ShardedAspeLibrary",
+    "StoreConfig",
     "BruteForceLibrary",
     "CostModel",
     "CountingIndexLibrary",

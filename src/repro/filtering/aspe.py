@@ -42,6 +42,8 @@ import numpy as np
 
 from .base import FilteringLibrary
 from .predicates import Op, Predicate, PredicateSet
+from .store.chunks import ChunkedMatrixStore
+from .store.config import StoreConfig
 
 __all__ = [
     "AspeKey",
@@ -176,6 +178,84 @@ class AspeCipher:
         for predicate in predicate_set:
             encrypted.extend(self.encrypt_predicate(predicate))
         return EncryptedSubscription(predicates=tuple(encrypted))
+
+    def encrypt_subscriptions(
+        self, predicate_sets: Sequence[PredicateSet]
+    ) -> List[EncryptedSubscription]:
+        """Encrypt many subscriptions with one matrix-matrix product.
+
+        Builds every (EQ-expanded) query vector into one stacked block
+        and applies ``M⁻¹`` as a single gemm — the trace-scale (1M+)
+        subscription generation path.  Per-predicate blinding factors
+        draw from the same stream in the same order as the scalar path,
+        so the construction (and its security argument) is unchanged.
+        """
+        d = self.key.dimensions
+        op_codes = {Op.GT: "gt", Op.GE: "ge", Op.LT: "lt", Op.LE: "le"}
+        specs: List[Tuple[str, int, float]] = []
+        counts: List[int] = []
+        for predicate_set in predicate_sets:
+            before = len(specs)
+            for predicate in predicate_set:
+                if predicate.attribute >= d:
+                    raise ValueError(
+                        f"predicate attribute {predicate.attribute} outside "
+                        f"schema of {d}"
+                    )
+                if predicate.op is Op.EQ:
+                    specs.append(("ge", predicate.attribute, predicate.constant))
+                    specs.append(("le", predicate.attribute, predicate.constant))
+                else:
+                    specs.append(
+                        (op_codes[predicate.op], predicate.attribute, predicate.constant)
+                    )
+            counts.append(len(specs) - before)
+        queries = np.zeros((len(specs), d + 3))
+        rng = self._rng
+        for row, (_, attribute, constant) in enumerate(specs):
+            s = rng.uniform(0.5, 2.0)
+            queries[row, attribute] = 1.0
+            queries[row, d] = -constant
+            queries[row] *= s
+        vectors = queries @ self.key.inverse.T
+        out: List[EncryptedSubscription] = []
+        row = 0
+        for count in counts:
+            out.append(
+                EncryptedSubscription(
+                    predicates=tuple(
+                        EncryptedPredicate(
+                            op_code=specs[row + i][0], vector=vectors[row + i]
+                        )
+                        for i in range(count)
+                    )
+                )
+            )
+            row += count
+        return out
+
+    def encrypt_publications(
+        self, attribute_rows: Sequence[Sequence[float]]
+    ) -> List[EncryptedPublication]:
+        """Encrypt many publications with one matrix-matrix product."""
+        d = self.key.dimensions
+        rows = np.asarray(attribute_rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != d:
+            raise ValueError(
+                f"expected (count, {d}) attribute rows, got {rows.shape}"
+            )
+        count = rows.shape[0]
+        u = np.empty((count, d + 3))
+        u[:, :d] = rows
+        u[:, d] = 1.0
+        rng = self._rng
+        for i in range(count):
+            r = rng.uniform(0.5, 2.0)
+            u[i, d + 1] = rng.uniform(-10.0, 10.0)
+            u[i, d + 2] = rng.uniform(-10.0, 10.0)
+            u[i] *= r
+        encrypted = u @ self.key.matrix
+        return [EncryptedPublication(vector=vector) for vector in encrypted]
 
     def _encrypt_comparison(self, attribute: int, constant: float, op_code: str) -> EncryptedPredicate:
         d = self.key.dimensions
@@ -350,8 +430,25 @@ class AspeLibrary(FilteringLibrary):
     batch of publications as a single matrix-matrix product.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store_config: Optional[StoreConfig] = None) -> None:
         self._subs: Dict[int, EncryptedSubscription] = {}
+        #: How the packed rows are stored.  ``dense`` (the default) keeps
+        #: the in-RAM amortized-doubling buffers below; ``chunked``/``mmap``
+        #: delegate row storage to a :class:`ChunkedMatrixStore` so the
+        #: matrix can exceed RAM (see repro.filtering.store).
+        self._store_config = (
+            store_config if store_config is not None else StoreConfig.from_env()
+        )
+        self._chunks: Optional[ChunkedMatrixStore] = (
+            None
+            if self._store_config.backend == "dense"
+            else ChunkedMatrixStore(self._store_config)
+        )
+        #: Epoch-keyed contiguous materialization of the chunked rows for
+        #: :meth:`packed_view` (the parallel executors need one flat
+        #: matrix).  ``(epoch, matrix, strict, tol_signed)`` or ``None``.
+        self._materialized = None
+        self._telemetry = None
         #: Packed state: row buffer + per-row decision metadata.  Allocated
         #: lazily on the first store (the ciphertext width is unknown
         #: until then) and grown by doubling.  Rows are stored
@@ -438,11 +535,14 @@ class AspeLibrary(FilteringLibrary):
             # Only empty (vacuously true) subscriptions are stored.
             return list(ids)
         u = publication_data.vector
-        rows = self._rows
-        products = self._matrix[:rows] @ u
-        scale = float(np.linalg.norm(u)) + 1.0
-        satisfied = self._decide_rows(products, scale * self._tol_base[:rows])
-        ok = self._reduce_spans(satisfied, starts, stops)
+        if self._chunks is not None:
+            ok = self._match_single_streaming(u, starts, stops)
+        else:
+            rows = self._rows
+            products = self._matrix[:rows] @ u
+            scale = float(np.linalg.norm(u)) + 1.0
+            satisfied = self._decide_rows(products, scale * self._tol_base[:rows])
+            ok = self._reduce_spans(satisfied, starts, stops)
         result = np.ones(len(ids), dtype=bool)
         result[positions] = ok
         return [ids[i] for i in np.nonzero(result)[0]]
@@ -463,19 +563,22 @@ class AspeLibrary(FilteringLibrary):
         if starts.size == 0:
             return [list(ids) for _ in publications]
         batch = np.stack([p.vector for p in publications])  # (B, n)
-        rows = self._rows
-        # The shared kernel (also run by parallel matching workers) with
-        # the reusable workspace — per-call allocation is what made
-        # batching lose to the cached single-publication path.
-        ok = match_packed(
-            self._matrix[:rows],
-            self._strict[:rows],
-            self._tol_signed[:rows],
-            starts,
-            stops,
-            batch,
-            workspace=self._workspace,
-        )
+        if self._chunks is not None:
+            ok = self._match_batch_streaming(batch, starts, stops)
+        else:
+            rows = self._rows
+            # The shared kernel (also run by parallel matching workers)
+            # with the reusable workspace — per-call allocation is what
+            # made batching lose to the cached single-publication path.
+            ok = match_packed(
+                self._matrix[:rows],
+                self._strict[:rows],
+                self._tol_signed[:rows],
+                starts,
+                stops,
+                batch,
+                workspace=self._workspace,
+            )
         result = np.ones((batch.shape[0], len(ids)), dtype=bool)
         result[:, positions] = ok
         return [[ids[i] for i in np.nonzero(row)[0]] for row in result]
@@ -495,6 +598,8 @@ class AspeLibrary(FilteringLibrary):
         self._subs = {}
         self._matrix = None
         self._strict = self._tol_base = self._tol_signed = self._alive = None
+        if self._chunks is not None:
+            self._chunks.clear()
         self._rows = 0
         self._dead_rows = 0
         self._spans = {}
@@ -506,6 +611,271 @@ class AspeLibrary(FilteringLibrary):
         self._generation += 1
         self.full_pack_count += 1
 
+    # -- bulk ingest and shard transfer ---------------------------------------
+
+    def store_many(self, items) -> int:
+        """Bulk-store ``(sub_id, EncryptedSubscription)`` pairs.
+
+        One staging block, one norm reduction, one store append and one
+        epoch bump for the whole batch — the 1M-subscription load path.
+        The resulting packed rows, spans and match decisions are
+        identical to storing the items one by one; batches containing
+        duplicate or already-stored ids fall back to exactly that.
+        """
+        items = list(items)
+        for _, subscription in items:
+            if not isinstance(subscription, EncryptedSubscription):
+                raise TypeError(
+                    f"expected EncryptedSubscription, got "
+                    f"{type(subscription).__name__}"
+                )
+        if not items:
+            return 0
+        ids = [sub_id for sub_id, _ in items]
+        if len(set(ids)) != len(ids) or any(i in self._subs for i in ids):
+            for sub_id, subscription in items:
+                self.store(sub_id, subscription)
+            return len(items)
+        total = sum(len(s.predicates) for _, s in items)
+        if total == 0:
+            for sub_id, subscription in items:
+                self._subs[sub_id] = subscription
+                self._spans[sub_id] = (self._rows, self._rows)
+            self._index = None
+            self._epoch += 1
+            return len(items)
+        width = next(
+            s.predicates[0].vector.shape[0] for _, s in items if s.predicates
+        )
+        block = np.empty((total, width))
+        strict = np.empty(total, dtype=bool)
+        bounds = []
+        row = 0
+        for sub_id, subscription in items:
+            start = row
+            for predicate in subscription.predicates:
+                if _OP_SIGN[predicate.op_code] < 0.0:
+                    np.negative(predicate.vector, out=block[row])
+                else:
+                    block[row] = predicate.vector
+                strict[row] = _OP_STRICT[predicate.op_code]
+                row += 1
+            bounds.append((start, row))
+        base = _REL_TOL * (np.linalg.norm(block, axis=1) + 1.0)
+        tol_signed = np.where(strict, base, -base)
+        if self._chunks is not None:
+            offset, _ = self._chunks.append(block, strict, base, tol_signed)
+        else:
+            self._ensure_capacity(total, width)
+            offset = self._rows
+            self._matrix[offset : offset + total] = block
+            self._strict[offset : offset + total] = strict
+            self._tol_base[offset : offset + total] = base
+            self._tol_signed[offset : offset + total] = tol_signed
+            self._alive[offset : offset + total] = True
+        self._rows = offset + total
+        for (sub_id, subscription), (start, stop) in zip(items, bounds):
+            self._subs[sub_id] = subscription
+            self._spans[sub_id] = (offset + start, offset + stop)
+        self.rows_appended += total
+        self._index = None
+        self._epoch += 1
+        self._maybe_compact()
+        return len(items)
+
+    def absorb(self, other: "AspeLibrary") -> int:
+        """Adopt every subscription (and packed row) of ``other``.
+
+        The merge half of shard split/merge: under a chunked store the
+        rows transfer as whole chunk objects — zero rows rewritten — and
+        under the dense store as one bulk buffer copy.  ``other`` is left
+        empty.  Returns the number of rows adopted.  Appending to self
+        preserves the append-only delta invariant, so the generation does
+        not advance.
+        """
+        if other is self:
+            raise ValueError("cannot absorb a library into itself")
+        if (self._chunks is None) != (other._chunks is None):
+            raise ValueError("cannot absorb across store backends")
+        overlap = self._subs.keys() & other._subs.keys()
+        if overlap:
+            raise ValueError(
+                f"cannot absorb: {len(overlap)} overlapping subscription ids"
+            )
+        moved = other._rows
+        base = self._rows
+        if self._chunks is not None:
+            self._chunks.adopt(other._chunks)
+        elif other._matrix is not None and moved:
+            self._ensure_capacity(moved, other._matrix.shape[1])
+            stop = base + moved
+            self._matrix[base:stop] = other._matrix[:moved]
+            self._strict[base:stop] = other._strict[:moved]
+            self._tol_base[base:stop] = other._tol_base[:moved]
+            self._tol_signed[base:stop] = other._tol_signed[:moved]
+            self._alive[base:stop] = other._alive[:moved]
+        self._rows = base + moved
+        self._dead_rows += other._dead_rows
+        for sub_id, subscription in other._subs.items():
+            start, stop = other._spans[sub_id]
+            self._subs[sub_id] = subscription
+            self._spans[sub_id] = (base + start, base + stop)
+        self._index = None
+        self._epoch += 1
+        other._reset_empty()
+        return moved
+
+    def detach_suffix(self, boundary: int, sub_ids) -> Tuple["AspeLibrary", int]:
+        """Split the store at row ``boundary``, moving ``sub_ids`` out.
+
+        The split half of shard split/merge: every chunk fully past the
+        boundary is *moved* into the new library; only the rows of the
+        chunk the boundary cuts through are copied (the dense store
+        copies the whole suffix — it has no chunks to adopt).  Every
+        moving subscription's non-empty span must lie at or past the
+        boundary and every staying one's before it.  Returns
+        ``(new_library, copied_rows)``.
+        """
+        moving = set(sub_ids)
+        for sub_id in moving:
+            if sub_id not in self._subs:
+                raise KeyError(sub_id)
+        if not 0 <= boundary <= self._rows:
+            raise ValueError(
+                f"split boundary {boundary} outside [0, {self._rows}]"
+            )
+        for sub_id, (start, stop) in self._spans.items():
+            if stop <= start:
+                continue
+            if sub_id in moving:
+                if start < boundary:
+                    raise ValueError(
+                        f"moving subscription {sub_id} has rows below the "
+                        f"split boundary"
+                    )
+            elif stop > boundary:
+                raise ValueError(
+                    f"staying subscription {sub_id} has rows at or past "
+                    f"the split boundary"
+                )
+        new_lib = AspeLibrary(store_config=self._store_config)
+        new_lib._telemetry = self._telemetry
+        copied = 0
+        if self._chunks is not None:
+            new_lib._chunks, copied = self._chunks.split_at(boundary)
+            new_lib._rows = new_lib._chunks.rows
+            new_lib._dead_rows = new_lib._chunks.dead_rows
+            self._rows = self._chunks.rows
+            self._dead_rows = self._chunks.dead_rows
+        else:
+            rows = self._rows
+            suffix = rows - boundary
+            if suffix > 0 and self._matrix is not None:
+                new_lib._ensure_capacity(suffix, self._matrix.shape[1])
+                new_lib._matrix[:suffix] = self._matrix[boundary:rows]
+                new_lib._strict[:suffix] = self._strict[boundary:rows]
+                new_lib._tol_base[:suffix] = self._tol_base[boundary:rows]
+                new_lib._tol_signed[:suffix] = self._tol_signed[boundary:rows]
+                new_lib._alive[:suffix] = self._alive[boundary:rows]
+                new_lib._rows = suffix
+                new_lib._dead_rows = int(
+                    suffix - new_lib._alive[:suffix].sum()
+                )
+                copied = suffix
+                self._alive[boundary:rows] = False
+                self._rows = boundary
+                self._dead_rows = int(
+                    boundary - self._alive[:boundary].sum()
+                )
+        for sub_id in [s for s in self._subs if s in moving]:
+            subscription = self._subs.pop(sub_id)
+            start, stop = self._spans.pop(sub_id)
+            new_lib._subs[sub_id] = subscription
+            if stop > start:
+                new_lib._spans[sub_id] = (start - boundary, stop - boundary)
+            else:
+                new_lib._spans[sub_id] = (0, 0)
+        self._index = None
+        self._epoch += 1
+        # Rows past the boundary vanished from this library: previously
+        # exported row cursors are invalid, so the generation advances.
+        self._generation += 1
+        new_lib._index = None
+        new_lib._epoch += 1
+        return new_lib, copied
+
+    def _reset_empty(self) -> None:
+        """Empty this library in place (its state moved elsewhere)."""
+        self._subs = {}
+        self._spans = {}
+        self._matrix = None
+        self._strict = self._tol_base = self._tol_signed = self._alive = None
+        if self._chunks is not None:
+            self._chunks.clear()
+        self._rows = 0
+        self._dead_rows = 0
+        self._index = None
+        self._ws = {}
+        self._materialized = None
+        self._epoch += 1
+        self._generation += 1
+
+    # -- store configuration and observability --------------------------------
+
+    @property
+    def store_config(self) -> StoreConfig:
+        return self._store_config
+
+    def configure_store(self, config: StoreConfig) -> None:
+        """Select the backing store (only while the library is empty)."""
+        if config == self._store_config:
+            return
+        if self._subs or self._rows:
+            raise ValueError(
+                "cannot reconfigure the store of a non-empty library"
+            )
+        self._store_config = config
+        self._chunks = (
+            None
+            if config.backend == "dense"
+            else ChunkedMatrixStore(config)
+        )
+        self._materialized = None
+        if self._telemetry is not None and self._chunks is not None:
+            self._chunks.bind_telemetry(self._telemetry)
+
+    def bind_telemetry(self, telemetry, label: str = "aspe") -> None:
+        """Record store residency/fault/eviction activity into a bundle."""
+        self._telemetry = telemetry
+        if self._chunks is not None:
+            self._chunks.bind_telemetry(telemetry, label)
+
+    def store_stats(self) -> Dict[str, object]:
+        """Backing-store residency statistics (see OBSERVABILITY.md)."""
+        if self._chunks is not None:
+            return self._chunks.stats()
+        matrix = self._matrix
+        row_bytes = 0 if matrix is None else (matrix.shape[1] + 2) * 8
+        return {
+            "backend": "dense",
+            "chunk_rows": 0,
+            "chunks": 0,
+            "rows": self._rows,
+            "dead_rows": self._dead_rows,
+            "resident_chunks": 0,
+            "resident_bytes": self._rows * row_bytes,
+            "resident_peak_bytes": self._rows * row_bytes,
+            "faults": 0,
+            "evictions": 0,
+        }
+
+    def subscription_ids(self) -> List[int]:
+        """Stored subscription ids in insertion order."""
+        return list(self._subs)
+
+    def get_subscription(self, sub_id: int) -> EncryptedSubscription:
+        return self._subs[sub_id]
+
     def packed_view(self) -> PackedMatrixView:
         """Zero-copy :class:`PackedMatrixView` of the live packed state.
 
@@ -514,6 +884,35 @@ class AspeLibrary(FilteringLibrary):
         """
         ids, positions, starts, stops = self._span_index()
         rows = self._rows
+        if self._chunks is not None:
+            # The executors need one flat matrix; materialize contiguous
+            # copies once per epoch.  Rows below any previously observed
+            # cursor re-copy to identical bits within a generation (the
+            # chunk data is unchanged), so append-only deltas stay sound.
+            matrix = strict = tol_signed = None
+            width = 0
+            if self._chunks.width is not None:
+                cached = self._materialized
+                if cached is None or cached[0] != self._epoch:
+                    matrix, strict, tol_signed = self._chunks.materialize()
+                    self._materialized = (self._epoch, matrix, strict, tol_signed)
+                else:
+                    _, matrix, strict, tol_signed = cached
+                width = int(self._chunks.width)
+            return PackedMatrixView(
+                token=self._token,
+                epoch=self._epoch,
+                generation=self._generation,
+                rows=rows,
+                width=width,
+                matrix=matrix,
+                strict=strict,
+                tol_signed=tol_signed,
+                ids=ids,
+                positions=positions,
+                starts=starts,
+                stops=stops,
+            )
         matrix = None if self._matrix is None else self._matrix[:rows]
         return PackedMatrixView(
             token=self._token,
@@ -549,8 +948,20 @@ class AspeLibrary(FilteringLibrary):
         state["_index"] = None
         state["_tol_base"] = None
         state["_tol_signed"] = None
+        state["_materialized"] = None
+        state["_telemetry"] = None
         rows = self._rows
-        if self._matrix is not None:
+        if self._chunks is not None:
+            # Chunked stores serialize as the same trimmed flat-buffer
+            # format as the dense path (chunk layout and residency are
+            # process-local state, rebuilt on restore).
+            del state["_chunks"]
+            if rows:
+                matrix, strict, alive = self._chunks.export_rows()
+                state["_matrix"] = matrix
+                state["_strict"] = strict
+                state["_alive"] = alive
+        elif self._matrix is not None:
             state["_matrix"] = np.ascontiguousarray(self._matrix[:rows])
             state["_strict"] = self._strict[:rows].copy()
             state["_alive"] = self._alive[:rows].copy()
@@ -562,6 +973,30 @@ class AspeLibrary(FilteringLibrary):
         # the pickled values — it must not alias the source's sync
         # identity in any executor channel.
         self._token = next(_INSTANCE_TOKENS)
+        if "_chunks" not in self.__dict__:
+            # Chunked-store pickle: rebuild the chunk layout from the flat
+            # buffers (the derived tolerance columns recompute
+            # bit-identically from the rows).
+            self._chunks = ChunkedMatrixStore(self._store_config)
+            matrix = self._matrix
+            if matrix is not None and matrix.shape[0]:
+                strict = self._strict
+                alive = self._alive
+                base = _REL_TOL * (np.linalg.norm(matrix, axis=1) + 1.0)
+                tol_signed = np.where(strict, base, -base)
+                self._chunks.append(matrix, strict, base, tol_signed)
+                dead = np.flatnonzero(~alive)
+                if dead.size:
+                    breaks = np.flatnonzero(np.diff(dead) > 1)
+                    run_heads = np.concatenate(([0], breaks + 1))
+                    run_tails = np.concatenate((breaks, [dead.size - 1]))
+                    for head, tail in zip(run_heads, run_tails):
+                        self._chunks.mark_dead(
+                            int(dead[head]), int(dead[tail]) + 1
+                        )
+            self._matrix = None
+            self._strict = self._alive = None
+            return
         if self._matrix is not None:
             # Recompute the tolerance caches from the stored rows.  The
             # per-row norm reduction is element-independent, so the values
@@ -604,6 +1039,89 @@ class AspeLibrary(FilteringLibrary):
         np.cumsum(~satisfied, axis=-1, out=prefix[..., 1:])
         return (prefix[..., stops] - prefix[..., starts]) == 0
 
+    @staticmethod
+    def _block_span_range(starts, stops, row_lo, row_hi):
+        """Index range [j0, j1) of spans overlapping rows [row_lo, row_hi).
+
+        ``starts`` is sorted and spans are disjoint, so ``stops`` is
+        sorted too — both bounds come from one binary search each.
+        """
+        j0 = int(np.searchsorted(stops, row_lo, side="right"))
+        j1 = int(np.searchsorted(starts, row_hi, side="left"))
+        return j0, j1
+
+    def _match_single_streaming(self, u, starts, stops) -> np.ndarray:
+        """Chunk-streamed equivalent of the dense single-publication path.
+
+        Each span's unsatisfied-row count is accumulated block by block;
+        the per-row products and decisions are computed by exactly the
+        same vectorized operations as the dense path (a row's dot product
+        reduces only over the ciphertext width, so row-chunking cannot
+        change its result), and the span conjunction is integer counting
+        — the final decisions are bit-identical to the in-RAM backend.
+        """
+        scale = float(np.linalg.norm(u)) + 1.0
+        unsat = np.zeros(starts.size, dtype=np.int64)
+        for block in self._chunks.blocks():
+            j0, j1 = self._block_span_range(starts, stops, block.start, block.stop)
+            if j0 >= j1:
+                continue
+            products = np.ascontiguousarray(block.matrix) @ u
+            tolerances = scale * np.ascontiguousarray(block.tol_base)
+            satisfied = np.where(
+                block.strict, products > tolerances, products >= -tolerances
+            )
+            length = satisfied.size
+            prefix = np.zeros(length + 1, dtype=np.int64)
+            np.cumsum(~satisfied, out=prefix[1:])
+            lo = np.clip(starts[j0:j1] - block.start, 0, length)
+            hi = np.clip(stops[j0:j1] - block.start, 0, length)
+            unsat[j0:j1] += prefix[hi] - prefix[lo]
+        return unsat == 0
+
+    def _match_batch_streaming(self, batch, starts, stops) -> np.ndarray:
+        """Chunk-streamed :func:`match_packed`: one block at a time.
+
+        Runs the identical per-block operation sequence as the dense
+        kernel (matmul → sign-folded threshold compare → unsatisfied-row
+        prefix sums) and accumulates per-span unsatisfied counts across
+        blocks; integer accumulation makes the conjunction exact, so the
+        result is bit-identical to the one-shot dense kernel while only
+        ever touching one resident chunk of rows.
+        """
+        count = batch.shape[0]
+        scales = np.linalg.norm(batch, axis=1)
+        scales += 1.0
+        unsat = np.zeros((count, starts.size), dtype=np.int64)
+        width = batch.shape[1]
+        for block in self._chunks.blocks():
+            j0, j1 = self._block_span_range(starts, stops, block.start, block.stop)
+            if j0 >= j1:
+                continue
+            rows = block.stop - block.start
+            matrix = self._workspace("stream_matrix", (rows, width), np.float64)
+            matrix[:] = block.matrix
+            tol_signed = self._workspace("stream_tol", (rows,), np.float64)
+            tol_signed[:] = block.tol_signed
+            products = self._workspace("products", (count, rows), np.float64)
+            np.matmul(batch, matrix.T, out=products)
+            thresholds = self._workspace("thresholds", (count, rows), np.float64)
+            np.multiply(scales[:, None], tol_signed[None, :], out=thresholds)
+            satisfied = self._workspace("satisfied", (count, rows), np.bool_)
+            np.greater(products, thresholds, out=satisfied)
+            boundary = self._workspace("boundary", (count, rows), np.bool_)
+            np.equal(products, thresholds, out=boundary)
+            np.logical_and(boundary, ~block.strict[None, :], out=boundary)
+            np.logical_or(satisfied, boundary, out=satisfied)
+            np.logical_not(satisfied, out=boundary)
+            prefix = self._workspace("prefix", (count, rows + 1), np.int32)
+            prefix[:, 0] = 0
+            np.cumsum(boundary, axis=1, out=prefix[:, 1:])
+            lo = np.clip(starts[j0:j1] - block.start, 0, rows)
+            hi = np.clip(stops[j0:j1] - block.start, 0, rows)
+            unsat[:, j0:j1] += prefix[:, hi] - prefix[:, lo]
+        return unsat == 0
+
     def _append_rows(self, sub_id: int, subscription: EncryptedSubscription) -> None:
         predicates = subscription.predicates
         count = len(predicates)
@@ -611,6 +1129,24 @@ class AspeLibrary(FilteringLibrary):
             self._spans[sub_id] = (self._rows, self._rows)
             return
         width = predicates[0].vector.shape[0]
+        if self._chunks is not None:
+            block = np.empty((count, width))
+            strict = np.empty(count, dtype=bool)
+            for offset, predicate in enumerate(predicates):
+                if _OP_SIGN[predicate.op_code] < 0.0:
+                    np.negative(predicate.vector, out=block[offset])
+                else:
+                    block[offset] = predicate.vector
+                strict[offset] = _OP_STRICT[predicate.op_code]
+            # Computed on the staging block, but per-row norms reduce
+            # element-independently — bit-identical to dense append.
+            base = _REL_TOL * (np.linalg.norm(block, axis=1) + 1.0)
+            tol_signed = np.where(strict, base, -base)
+            start, stop = self._chunks.append(block, strict, base, tol_signed)
+            self._rows = stop
+            self._spans[sub_id] = (start, stop)
+            self.rows_appended += count
+            return
         self._ensure_capacity(count, width)
         start = self._rows
         stop = start + count
@@ -666,12 +1202,22 @@ class AspeLibrary(FilteringLibrary):
     def _tombstone(self, sub_id: int) -> None:
         start, stop = self._spans.pop(sub_id)
         if stop > start:
-            self._alive[start:stop] = False
+            if self._chunks is not None:
+                self._chunks.mark_dead(start, stop)
+            else:
+                self._alive[start:stop] = False
             self._dead_rows += stop - start
 
     def _maybe_compact(self) -> None:
+        # Compact once dead/(dead+live) exceeds the configured ratio (and
+        # a fixed floor).  The default ratio of 0.5 solves to
+        # ``dead > max(live, 64)`` — exactly the seed's hardcoded trigger.
+        ratio = self._store_config.compact_dead_ratio
+        if ratio >= 1.0:
+            return
         live = self._rows - self._dead_rows
-        if self._dead_rows > max(live, _COMPACT_MIN_DEAD):
+        threshold = max(live * ratio / (1.0 - ratio), _COMPACT_MIN_DEAD)
+        if self._dead_rows > threshold:
             self._compact()
 
     def _compact(self) -> None:
@@ -681,6 +1227,18 @@ class AspeLibrary(FilteringLibrary):
         the span boundaries through the live-row prefix sums keeps every
         span contiguous.
         """
+        if self._chunks is not None:
+            offsets = self._chunks.compact()
+            self._spans = {
+                sub_id: (int(offsets[start]), int(offsets[stop]))
+                for sub_id, (start, stop) in self._spans.items()
+            }
+            self._rows = self._chunks.rows
+            self._dead_rows = 0
+            self._index = None
+            self._generation += 1
+            self.compaction_count += 1
+            return
         rows = self._rows
         alive = self._alive[:rows]
         keep = np.nonzero(alive)[0]

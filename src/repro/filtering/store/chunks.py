@@ -1,0 +1,528 @@
+"""Chunked, optionally memory-mapped backing store for packed predicate rows.
+
+The packed predicate matrix (PR 1) is split into fixed-size *row chunks*.
+Each chunk keeps its float64 row data — the ``width`` ciphertext columns
+plus the two derived tolerance columns — in one ``(capacity, width + 2)``
+array, either a plain in-RAM array (``chunked`` backend) or a
+``numpy.memmap`` over a per-store spill file (``mmap`` backend).  The
+per-row ``strict`` and ``alive`` flags always stay in RAM (2 bytes/row,
+~3% of the row data), so tombstoning never faults a chunk in.
+
+Under the ``mmap`` backend an LRU-ordered resident set bounds how much
+chunk data is mapped at once: faulting a chunk in past the configured
+byte budget flushes and *drops the Python reference to* the
+least-recently-used mapping.  Dropping the reference is the whole
+eviction protocol — any caller still holding a row view keeps the old
+mapping alive through ordinary refcounting (no use-after-free, no torn
+reads), the OS writes the pages back lazily, and the next fault simply
+remaps the same file.  Matching streams chunk by chunk through
+:meth:`ChunkedMatrixStore.blocks`, so the working set stays within the
+budget regardless of total subscription count.
+
+Chunks are also the shard transfer format: :meth:`adopt` moves whole
+chunk objects (and renames their spill files — a rename keeps open
+mappings valid, the inode is unchanged) into another store without
+rewriting a single row, and :meth:`split_at` hands off every chunk past
+a row boundary the same way, copying only the rows of the one chunk the
+boundary cuts through.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import weakref
+
+from collections import OrderedDict
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from .config import StoreConfig
+
+__all__ = ["ChunkedMatrixStore", "RowBlock"]
+
+
+class RowBlock(NamedTuple):
+    """One contiguous run of packed rows, as views into a chunk."""
+
+    start: int
+    stop: int
+    matrix: np.ndarray
+    strict: np.ndarray
+    tol_base: np.ndarray
+    tol_signed: np.ndarray
+    alive: np.ndarray
+
+
+class _Chunk:
+    """One fixed-capacity run of rows (data possibly evicted to its file)."""
+
+    __slots__ = ("capacity", "used", "strict", "alive", "path", "data")
+
+    def __init__(self, capacity: int, path: Optional[str], data) -> None:
+        self.capacity = capacity
+        self.used = 0
+        self.strict = np.zeros(capacity, dtype=bool)
+        self.alive = np.zeros(capacity, dtype=bool)
+        self.path = path
+        self.data = data
+
+
+class ChunkedMatrixStore:
+    """Row-chunked packed-matrix storage with an LRU-bounded resident set.
+
+    Row addressing is positional and global: row ``i`` lives in the chunk
+    whose cumulative ``used`` range covers ``i``.  Interior chunks may be
+    partially filled after a split or adoption; appends only ever extend
+    the last chunk.  The column layout of each chunk's data array is
+    ``[:width]`` = direction-folded query rows, ``[width]`` = tolerance
+    base, ``[width + 1]`` = sign-folded tolerance.
+    """
+
+    def __init__(self, config: StoreConfig) -> None:
+        self.config = config
+        self.width: Optional[int] = None
+        self._chunks: List[_Chunk] = []
+        self._rows = 0
+        self._dead = 0
+        #: Cached cumulative chunk starts (len(chunks) + 1 entries).
+        self._offsets: Optional[np.ndarray] = None
+        #: Resident chunks in least-recently-used-first order.
+        self._lru: "OrderedDict[_Chunk, None]" = OrderedDict()
+        self._resident_bytes = 0
+        self.resident_peak_bytes = 0
+        self.fault_count = 0
+        self.eviction_count = 0
+        self._dir: Optional[str] = None
+        self._finalizer = None
+        self._chunk_seq = 0
+        self._telemetry = None
+        self._label = "aspe"
+
+    # -- observability --------------------------------------------------------
+
+    def bind_telemetry(self, telemetry, label: str = "aspe") -> None:
+        """Record faults/evictions/residency into a telemetry bundle."""
+        self._telemetry = telemetry
+        self._label = label
+        self._update_gauges()
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def dead_rows(self) -> int:
+        return self._dead
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident_bytes
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def resident_chunks(self) -> int:
+        return len(self._lru)
+
+    def stats(self) -> dict:
+        return {
+            "backend": self.config.backend,
+            "chunk_rows": self.config.chunk_rows,
+            "chunks": len(self._chunks),
+            "rows": self._rows,
+            "dead_rows": self._dead,
+            "resident_chunks": len(self._lru),
+            "resident_bytes": self._resident_bytes,
+            "resident_peak_bytes": self.resident_peak_bytes,
+            "faults": self.fault_count,
+            "evictions": self.eviction_count,
+        }
+
+    # -- residency ------------------------------------------------------------
+
+    def _ensure_dir(self) -> str:
+        if self._dir is None:
+            self._dir = tempfile.mkdtemp(
+                prefix="aspe-store-", dir=self.config.spill_dir
+            )
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, self._dir, True
+            )
+        return self._dir
+
+    def _new_chunk(self, capacity: int) -> _Chunk:
+        shape = (capacity, self.width + 2)
+        if self.config.backend == "mmap":
+            path = os.path.join(
+                self._ensure_dir(), f"chunk-{self._chunk_seq:06d}.f64"
+            )
+            self._chunk_seq += 1
+            data = np.memmap(path, dtype=np.float64, mode="w+", shape=shape)
+        else:
+            path = None
+            data = np.zeros(shape, dtype=np.float64)
+        chunk = _Chunk(capacity, path, data)
+        self._chunks.append(chunk)
+        self._offsets = None
+        self._track_resident(chunk)
+        return chunk
+
+    def _track_resident(self, chunk: _Chunk) -> None:
+        self._lru[chunk] = None
+        self._lru.move_to_end(chunk)
+        self._resident_bytes += chunk.data.nbytes
+        if self._resident_bytes > self.resident_peak_bytes:
+            self.resident_peak_bytes = self._resident_bytes
+        self._update_gauges()
+
+    def _data(self, chunk: _Chunk) -> np.ndarray:
+        """The chunk's row data, faulting it back in if evicted."""
+        data = chunk.data
+        if data is None:
+            data = np.memmap(
+                chunk.path,
+                dtype=np.float64,
+                mode="r+",
+                shape=(chunk.capacity, self.width + 2),
+            )
+            chunk.data = data
+            self.fault_count += 1
+            telemetry = self._telemetry
+            if telemetry is not None and telemetry.store_chunk_faults is not None:
+                telemetry.store_chunk_faults.labels(store=self._label).inc()
+            self._track_resident(chunk)
+        elif chunk in self._lru:
+            self._lru.move_to_end(chunk)
+        self._evict(exclude=chunk)
+        return data
+
+    def _evict(self, exclude: Optional[_Chunk]) -> None:
+        budget = self.config.memory_budget_bytes
+        if budget <= 0 or self.config.backend != "mmap":
+            return
+        evicted = 0
+        while self._resident_bytes > budget:
+            victim = None
+            for candidate in self._lru:
+                # Never evict the chunk being touched, and never a chunk
+                # without a backing file (adopted from a RAM store).
+                if candidate is not exclude and candidate.path is not None:
+                    victim = candidate
+                    break
+            if victim is None:
+                break
+            del self._lru[victim]
+            victim.data.flush()
+            self._resident_bytes -= victim.data.nbytes
+            victim.data = None
+            self.eviction_count += 1
+            evicted += 1
+        if evicted:
+            telemetry = self._telemetry
+            if telemetry is not None and telemetry.store_chunk_evictions is not None:
+                telemetry.store_chunk_evictions.labels(store=self._label).inc(evicted)
+            self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        telemetry = self._telemetry
+        if telemetry is None or telemetry.store_resident_chunks is None:
+            return
+        telemetry.store_resident_chunks.labels(store=self._label).set(
+            len(self._lru)
+        )
+        telemetry.store_resident_bytes.labels(store=self._label).set(
+            self._resident_bytes
+        )
+
+    def _forget(self, chunk: _Chunk) -> None:
+        """Drop a chunk from residency accounting (it is leaving the store)."""
+        if chunk in self._lru:
+            del self._lru[chunk]
+        if chunk.data is not None:
+            self._resident_bytes -= chunk.data.nbytes
+        self._update_gauges()
+
+    def _drop_chunk(self, chunk: _Chunk) -> None:
+        self._forget(chunk)
+        chunk.data = None
+        if chunk.path is not None:
+            try:
+                os.unlink(chunk.path)
+            except OSError:
+                pass
+
+    # -- row addressing -------------------------------------------------------
+
+    def _chunk_offsets(self) -> np.ndarray:
+        if self._offsets is None:
+            offsets = np.zeros(len(self._chunks) + 1, dtype=np.int64)
+            for index, chunk in enumerate(self._chunks):
+                offsets[index + 1] = offsets[index] + chunk.used
+            self._offsets = offsets
+        return self._offsets
+
+    # -- mutation -------------------------------------------------------------
+
+    def _check_width(self, width: int) -> None:
+        if self.width is None:
+            self.width = int(width)
+        elif int(width) != self.width:
+            raise ValueError(
+                f"ciphertext width {width} does not match stored width "
+                f"{self.width}"
+            )
+
+    def append(
+        self,
+        matrix: np.ndarray,
+        strict: np.ndarray,
+        tol_base: np.ndarray,
+        tol_signed: np.ndarray,
+    ) -> Tuple[int, int]:
+        """Append rows (marked alive); returns their [start, stop) span."""
+        count = int(matrix.shape[0])
+        start = self._rows
+        if count == 0:
+            return (start, start)
+        self._check_width(matrix.shape[1])
+        width = self.width
+        written = 0
+        while written < count:
+            chunk = self._chunks[-1] if self._chunks else None
+            if chunk is None or chunk.used >= chunk.capacity:
+                chunk = self._new_chunk(self.config.chunk_rows)
+            take = min(count - written, chunk.capacity - chunk.used)
+            data = self._data(chunk)
+            lo = chunk.used
+            hi = lo + take
+            data[lo:hi, :width] = matrix[written : written + take]
+            data[lo:hi, width] = tol_base[written : written + take]
+            data[lo:hi, width + 1] = tol_signed[written : written + take]
+            chunk.strict[lo:hi] = strict[written : written + take]
+            chunk.alive[lo:hi] = True
+            chunk.used = hi
+            written += take
+            self._offsets = None
+        self._rows += count
+        return (start, start + count)
+
+    def mark_dead(self, start: int, stop: int) -> None:
+        """Tombstone rows [start, stop) — touches only the in-RAM flags."""
+        if stop <= start:
+            return
+        offsets = self._chunk_offsets()
+        index = int(np.searchsorted(offsets, start, side="right")) - 1
+        row = start
+        while row < stop:
+            chunk = self._chunks[index]
+            base = int(offsets[index])
+            lo = row - base
+            hi = min(stop - base, chunk.used)
+            chunk.alive[lo:hi] = False
+            row = base + hi
+            index += 1
+        self._dead += stop - start
+
+    def _recount_dead(self) -> None:
+        self._dead = self._rows - sum(
+            int(chunk.alive[: chunk.used].sum()) for chunk in self._chunks
+        )
+
+    def compact(self) -> np.ndarray:
+        """Drop tombstoned rows chunk by chunk, preserving live-row order.
+
+        Returns the (old_rows + 1)-entry exclusive alive-prefix-sum: the
+        caller remaps span boundary ``b`` to ``offsets[b]`` — the exact
+        formula of the dense path, valid here because per-chunk
+        compaction keeps the global relative order of live rows.
+        """
+        old_rows = self._rows
+        offsets = np.zeros(old_rows + 1, dtype=np.int64)
+        if old_rows:
+            alive_all = np.concatenate(
+                [chunk.alive[: chunk.used] for chunk in self._chunks]
+            )
+            np.cumsum(alive_all, out=offsets[1:])
+        kept: List[_Chunk] = []
+        for chunk in self._chunks:
+            used = chunk.used
+            alive = chunk.alive[:used]
+            live = int(alive.sum())
+            if live == 0:
+                self._drop_chunk(chunk)
+                continue
+            if live < used:
+                keep = np.nonzero(alive)[0]
+                data = self._data(chunk)
+                # Fancy-index RHS gathers into a temporary first, so the
+                # in-place move is overlap-safe.
+                data[:live] = data[keep]
+                chunk.strict[:live] = chunk.strict[keep]
+                chunk.used = live
+                chunk.alive[:live] = True
+                chunk.alive[live:] = False
+            kept.append(chunk)
+        self._chunks = kept
+        self._rows = int(offsets[old_rows])
+        self._dead = 0
+        self._offsets = None
+        return offsets
+
+    def clear(self) -> None:
+        for chunk in self._chunks:
+            self._drop_chunk(chunk)
+        self._chunks = []
+        self._rows = 0
+        self._dead = 0
+        self._offsets = None
+
+    # -- reading --------------------------------------------------------------
+
+    def blocks(self) -> Iterator[RowBlock]:
+        """Stream the store's rows as per-chunk blocks (faulting lazily).
+
+        Views stay valid even if their chunk is evicted while the caller
+        iterates on — the mapping lives until the view is dropped.
+        """
+        width = self.width
+        base = 0
+        for chunk in self._chunks:
+            used = chunk.used
+            if used == 0:
+                continue
+            data = self._data(chunk)
+            yield RowBlock(
+                start=base,
+                stop=base + used,
+                matrix=data[:used, :width],
+                strict=chunk.strict[:used],
+                tol_base=data[:used, width],
+                tol_signed=data[:used, width + 1],
+                alive=chunk.alive[:used],
+            )
+            base += used
+
+    def export_rows(self):
+        """Trimmed contiguous copies of (matrix, strict, alive) — the
+        legacy pickle/snapshot format of the dense path."""
+        if self.width is None:
+            return None
+        matrix = np.empty((self._rows, self.width))
+        strict = np.empty(self._rows, dtype=bool)
+        alive = np.empty(self._rows, dtype=bool)
+        for block in self.blocks():
+            matrix[block.start : block.stop] = block.matrix
+            strict[block.start : block.stop] = block.strict
+            alive[block.start : block.stop] = block.alive
+        return matrix, strict, alive
+
+    def materialize(self):
+        """Contiguous copies of (matrix, strict, tol_signed) for packed views."""
+        if self.width is None:
+            return None
+        matrix = np.empty((self._rows, self.width))
+        strict = np.empty(self._rows, dtype=bool)
+        tol_signed = np.empty(self._rows)
+        for block in self.blocks():
+            matrix[block.start : block.stop] = block.matrix
+            strict[block.start : block.stop] = block.strict
+            tol_signed[block.start : block.stop] = block.tol_signed
+        return matrix, strict, tol_signed
+
+    # -- shard transfer -------------------------------------------------------
+
+    def _adopt_chunk(self, chunk: _Chunk, source: "ChunkedMatrixStore") -> None:
+        """Move one chunk object (and its file) from ``source`` into self."""
+        source._forget(chunk)
+        if chunk.path is not None:
+            new_path = os.path.join(
+                self._ensure_dir(), f"chunk-{self._chunk_seq:06d}.f64"
+            )
+            self._chunk_seq += 1
+            # A rename keeps any open mapping valid: same inode, new name.
+            os.replace(chunk.path, new_path)
+            chunk.path = new_path
+        self._chunks.append(chunk)
+        if chunk.data is not None:
+            self._track_resident(chunk)
+
+    def adopt(self, other: "ChunkedMatrixStore") -> int:
+        """Append every chunk of ``other`` without rewriting rows.
+
+        Returns the row offset its rows now start at; ``other`` is left
+        empty.  This is the merge half of shard split/merge: O(chunks)
+        bookkeeping and file renames, zero row data moved.
+        """
+        if other.width is not None:
+            self._check_width(other.width)
+        base = self._rows
+        for chunk in list(other._chunks):
+            self._adopt_chunk(chunk, other)
+        self._rows += other._rows
+        self._dead += other._dead
+        other._chunks = []
+        other._rows = 0
+        other._dead = 0
+        other._offsets = None
+        self._offsets = None
+        self._evict(exclude=None)
+        return base
+
+    def split_at(self, row: int) -> Tuple["ChunkedMatrixStore", int]:
+        """Detach rows [row, rows) into a new store of the same config.
+
+        Whole chunks past the boundary are *moved* (adopted); only the
+        rows of the single chunk the boundary cuts through are copied.
+        Returns ``(new_store, copied_rows)``.
+        """
+        if not 0 <= row <= self._rows:
+            raise ValueError(f"split row {row} outside [0, {self._rows}]")
+        other = ChunkedMatrixStore(self.config)
+        other.width = self.width
+        other._telemetry = self._telemetry
+        other._label = self._label
+        if row == self._rows:
+            return other, 0
+        offsets = self._chunk_offsets()
+        index = int(np.searchsorted(offsets, row, side="right")) - 1
+        local = row - int(offsets[index])
+        copied = 0
+        move_from = index
+        if local > 0:
+            chunk = self._chunks[index]
+            used = chunk.used
+            width = self.width
+            data = self._data(chunk)
+            tail_alive = chunk.alive[local:used].copy()
+            other.append(
+                np.ascontiguousarray(data[local:used, :width]),
+                chunk.strict[local:used].copy(),
+                data[local:used, width].copy(),
+                data[local:used, width + 1].copy(),
+            )
+            # append marks everything alive; restore the real flags.
+            cursor = 0
+            for dest in other._chunks:
+                take = min(dest.used, tail_alive.size - cursor)
+                dest.alive[:take] = tail_alive[cursor : cursor + take]
+                cursor += take
+            copied = used - local
+            chunk.used = local
+            chunk.alive[local:] = False
+            chunk.strict[local:] = False
+            move_from = index + 1
+        for chunk in list(self._chunks[move_from:]):
+            other._adopt_chunk(chunk, self)
+        del self._chunks[move_from:]
+        self._offsets = None
+        other._offsets = None
+        self._rows = sum(chunk.used for chunk in self._chunks)
+        other._rows = sum(chunk.used for chunk in other._chunks)
+        self._recount_dead()
+        other._recount_dead()
+        return other, copied

@@ -16,7 +16,7 @@ from typing import Callable, List, Optional
 
 from ..cluster import Host, Network
 from ..engine import EngineRuntime, MigrationCosts
-from ..filtering import CostModel, MatchingBackend, SampledBackend
+from ..filtering import CostModel, MatchingBackend, SampledBackend, StoreConfig
 from ..metrics import DelaySample, DelayTracker
 from ..sim import Environment
 from ..telemetry import Telemetry
@@ -55,6 +55,10 @@ def _default_match_backend() -> str:
 
 def _default_match_chunk_rows() -> int:
     return _env_int("REPRO_MATCH_CHUNK_ROWS", 4096)
+
+
+def _env_store_config() -> StoreConfig:
+    return StoreConfig.from_env()
 
 
 @dataclass
@@ -109,6 +113,32 @@ class HubConfig:
     #: benchmarks).  When ``None`` and ``match_workers > 0`` the hub uses
     #: the process-wide shared executor for its knobs.
     match_executor: Optional[object] = None
+    #: Packed-row backing store of exact (ASPE) M-slice libraries:
+    #: ``dense`` (flat in-RAM arrays, the default), ``chunked`` (in-RAM
+    #: row chunks) or ``mmap`` (memmap-persisted chunks with an LRU
+    #: resident set).  From ``REPRO_STORE_BACKEND``; sampled backends
+    #: ignore it.  See DESIGN.md §8.
+    store_backend: str = field(default_factory=lambda: _env_store_config().backend)
+    #: Rows per store chunk.  From ``REPRO_STORE_CHUNK_ROWS``.
+    store_chunk_rows: int = field(
+        default_factory=lambda: _env_store_config().chunk_rows
+    )
+    #: Resident-set budget per library in MiB for the ``mmap`` backend
+    #: (0 = unbounded).  From ``REPRO_STORE_MEMORY_BUDGET_MB``.
+    store_memory_budget_mb: float = field(
+        default_factory=lambda: _env_store_config().memory_budget_mb
+    )
+    #: Compact a library once dead rows exceed this fraction of the store
+    #: (0 < ratio ≤ 1; 1 disables compaction).  From
+    #: ``REPRO_STORE_COMPACT_DEAD_RATIO``.
+    store_compact_dead_ratio: float = field(
+        default_factory=lambda: _env_store_config().compact_dead_ratio
+    )
+    #: Directory for mmap chunk files (``None`` = a per-store temp dir).
+    #: From ``REPRO_STORE_SPILL_DIR``.
+    store_spill_dir: Optional[str] = field(
+        default_factory=lambda: _env_store_config().spill_dir
+    )
 
     def __post_init__(self):
         if min(self.ap_slices, self.m_slices, self.ep_slices, self.sink_slices) <= 0:
@@ -135,6 +165,17 @@ class HubConfig:
                 f"match_backend must be one of {BACKENDS}, "
                 f"got {self.match_backend!r}"
             )
+        self.store_config()  # validate the store knobs early
+
+    def store_config(self) -> StoreConfig:
+        """The packed-row store configuration for exact M-slice libraries."""
+        return StoreConfig(
+            backend=self.store_backend,
+            chunk_rows=self.store_chunk_rows,
+            memory_budget_mb=self.store_memory_budget_mb,
+            compact_dead_ratio=self.store_compact_dead_ratio,
+            spill_dir=self.store_spill_dir,
+        )
 
     @classmethod
     def sampled(cls, matching_rate: float = 0.01, **kwargs) -> "HubConfig":
@@ -227,6 +268,7 @@ class StreamHub:
             parallelism=config.parallelism,
             replay_dedup=False,
         )
+        store_config = config.store_config()
         self.runtime.add_operator(
             self.M,
             config.m_slices,
@@ -238,6 +280,7 @@ class StreamHub:
                 exit_operator=self.EP,
                 batch_limit=config.matcher_batch_limit,
                 executor=self.match_executor,
+                store_config=store_config,
             ),
             parallelism=config.parallelism,
             replay_dedup=False,

@@ -136,6 +136,7 @@ class MatcherHandler(SliceHandler):
         exit_operator: str = "EP",
         batch_limit: int = 1,
         executor=None,
+        store_config=None,
     ):
         if batch_limit <= 0:
             raise ValueError("batch_limit must be positive")
@@ -155,9 +156,20 @@ class MatcherHandler(SliceHandler):
         #: sub_id → subscriber, resolved when emitting match lists.
         self._subscribers: Dict[int, int] = {}
         self.executor = executor
+        if store_config is not None:
+            configure = getattr(
+                getattr(backend, "library", None), "configure_store", None
+            )
+            if configure is not None:
+                configure(store_config)
+        self._telemetry_bound = False
+        self._refresh_parallel_capability()
+
+    def _refresh_parallel_capability(self) -> None:
+        """(Re)detect whether the backend supports packed-pool offload."""
         parallel_library = None
-        if executor is not None and hasattr(backend, "parallel_library"):
-            parallel_library = backend.parallel_library()
+        if self.executor is not None and hasattr(self.backend, "parallel_library"):
+            parallel_library = self.backend.parallel_library()
         self._parallel_library = parallel_library
         self._channel = None
         self._rendezvous = None
@@ -165,6 +177,17 @@ class MatcherHandler(SliceHandler):
             from ..parallel import CompletionRendezvous
 
             self._rendezvous = CompletionRendezvous()
+
+    def _bind_store_telemetry(self, telemetry) -> None:
+        """First-contact bind of the backing store's wall-clock metrics."""
+        self._telemetry_bound = True
+        if telemetry is None:
+            return
+        bind = getattr(
+            getattr(self.backend, "library", None), "bind_telemetry", None
+        )
+        if bind is not None:
+            bind(telemetry, f"M:{self.slice_index}")
 
     def cost(self, event: StreamEvent) -> float:
         if event.kind == KIND_PUBLICATION:
@@ -230,6 +253,8 @@ class MatcherHandler(SliceHandler):
         ]
 
     def process(self, event: StreamEvent, ctx: SliceContext) -> None:
+        if not self._telemetry_bound:
+            self._bind_store_telemetry(getattr(ctx, "telemetry", None))
         if event.kind == KIND_SUBSCRIPTION:
             subscription: Subscription = event.payload
             self.backend.store(subscription.sub_id, subscription.filter_payload)
@@ -258,6 +283,8 @@ class MatcherHandler(SliceHandler):
         would have produced — only the backend call count and the number
         of simulated network transfers shrink.
         """
+        if not self._telemetry_bound:
+            self._bind_store_telemetry(getattr(ctx, "telemetry", None))
         publications = [event.payload for event in events]
         results = self._collect(events[0], publications)
         if results is None:
@@ -311,6 +338,52 @@ class MatcherHandler(SliceHandler):
         """
         self.backend.store(subscription.sub_id, subscription.filter_payload)
         self._subscribers[subscription.sub_id] = subscription.subscriber
+
+    # -- runtime resharding ---------------------------------------------------
+
+    def shard_count(self) -> int:
+        """Key-range shards held by the backend (1 when unsharded)."""
+        counter = getattr(getattr(self.backend, "library", None), "shard_count", None)
+        return counter() if callable(counter) else 1
+
+    def can_reshard(self, op: str) -> bool:
+        """Whether a shard ``op`` ("split"/"merge") is applicable now."""
+        library = getattr(self.backend, "library", None)
+        if op == "split":
+            check = getattr(library, "can_split", None)
+        elif op == "merge":
+            check = getattr(library, "can_merge", None)
+        else:
+            return False
+        return bool(check()) if callable(check) else False
+
+    def adopt_from(self, other: "MatcherHandler") -> None:
+        """Take over ``other``'s state by reference (same-host reshard).
+
+        Unlike :meth:`import_state` nothing is copied: the backend object
+        itself changes owner, so adopting a terabyte-scale partition costs
+        nothing — :func:`~repro.engine.migration.reshard_slice` relies on
+        this to keep the copy phase proportional to rewritten rows only.
+        """
+        self.backend = other.backend
+        self._subscribers = other._subscribers
+        self.publications_matched = other.publications_matched
+        self.publications_batched = other.publications_batched
+        self.batches_offloaded = other.batches_offloaded
+        self._telemetry_bound = other._telemetry_bound
+        self._refresh_parallel_capability()
+
+    def reshard(self, op: str, shard_index=None, pivot_key=None):
+        """Run one shard split/merge on the backend's sharded library.
+
+        Returns the library's :class:`~repro.filtering.ShardOpResult`.
+        """
+        library = self.backend.library
+        if op == "split":
+            return library.split_shard(index=shard_index, pivot_key=pivot_key)
+        if op == "merge":
+            return library.merge_shards(index=shard_index)
+        raise ValueError(f"unknown shard operation {op!r}")
 
     # -- migration state ------------------------------------------------------
 

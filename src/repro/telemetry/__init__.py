@@ -133,6 +133,11 @@ class Telemetry:
             self.match_pool_queued_tasks = None
             self.match_worker_busy_fraction = None
             self.match_matrix_resyncs = None
+            self.store_chunk_faults = None
+            self.store_chunk_evictions = None
+            self.store_resident_chunks = None
+            self.store_resident_bytes = None
+            self.shard_operations = None
             self.notification_delay = None
             self.migrations = None
             self.migration_state_bytes = None
@@ -204,6 +209,34 @@ class Telemetry:
         self.match_matrix_resyncs = m.counter(
             "match_matrix_resyncs_total",
             "Full packed-matrix re-ships to matching workers (vs incremental deltas)",
+        )
+        # Out-of-core packed-row store (repro.filtering.store; wall-clock
+        # side residency of mmap chunks, not simulated quantities).
+        self.store_chunk_faults = m.counter(
+            "store_chunk_faults_total",
+            "Evicted packed-row chunks mapped back in on access",
+            labels=("store",),
+        )
+        self.store_chunk_evictions = m.counter(
+            "store_chunk_evictions_total",
+            "Packed-row chunks flushed and dropped to honor the memory budget",
+            labels=("store",),
+        )
+        self.store_resident_chunks = m.gauge(
+            "store_resident_chunks",
+            "Packed-row chunks currently mapped in memory",
+            labels=("store",),
+        )
+        self.store_resident_bytes = m.gauge(
+            "store_resident_bytes",
+            "Bytes of packed-row chunk data currently mapped in memory",
+            unit="bytes",
+            labels=("store",),
+        )
+        self.shard_operations = m.counter(
+            "shard_operations_total",
+            "Completed runtime shard reconfigurations (split/merge)",
+            labels=("op",),
         )
         self.notification_delay = m.histogram(
             "notification_delay_seconds",

@@ -1,6 +1,7 @@
 """Workload generation: subscriptions, publications, rate profiles, traces."""
 
 from .subscriptions import WorkloadGenerator
+from .scale import ScaleWorkload
 from .rates import constant, piecewise_linear, staircase, trapezoid
 from .frankfurt import FrankfurtTraceModel
 from .advanced import (
@@ -14,6 +15,7 @@ __all__ = [
     "CorrelatedPublicationGenerator",
     "FrankfurtTraceModel",
     "MultiSourceWorkload",
+    "ScaleWorkload",
     "WorkloadGenerator",
     "ZipfSubscriptionGenerator",
     "constant",

@@ -1,0 +1,149 @@
+"""Tests for shard-split scaling decisions and their execution."""
+
+from repro.cluster import CloudProvider, HostSpec
+from repro.coord import CoordinationKernel
+from repro.elastic import (
+    ElasticityEnforcer,
+    ElasticityManager,
+    ElasticityPolicy,
+    PlannedShardOp,
+    ScalingDecision,
+    ViolationKind,
+)
+from repro.elastic.policy import Violation
+from repro.elastic.probes import HostProbe, ProbeSet, SliceProbe
+from repro.filtering import CostModel, ExactBackend, ShardedAspeLibrary
+from repro.pubsub import HubConfig, StreamHub, Subscription
+from repro.sim import Environment
+from repro.workloads import ScaleWorkload
+
+GIB = 1024 ** 3
+
+
+def make_probes(host_slices):
+    """host_slices: {host: [(slice, cpu, mem, shard_count), ...]}"""
+    hosts = {}
+    slices = {}
+    for host_id, entries in host_slices.items():
+        load = sum(cpu for _, cpu, _, _ in entries)
+        hosts[host_id] = HostProbe(host_id, 8, load / 8.0, 0, 0, 0)
+        for slice_id, cpu, mem, shards in entries:
+            slices[slice_id] = SliceProbe(
+                slice_id, host_id, cpu, mem, 0, shard_count=shards
+            )
+    return ProbeSet(time=0.0, window_s=5.0, hosts=hosts, slices=slices)
+
+
+def enforcer():
+    return ElasticityEnforcer(
+        ElasticityPolicy(), host_cores=8, host_memory_bytes=8 * GIB
+    )
+
+
+class TestSplitFallback:
+    def test_single_unmovable_hot_slice_splits(self):
+        # The hot slice's subscription state is larger than any host can
+        # take, so no placement exists — the enforcer falls back to
+        # cutting its key range in place.
+        probes = make_probes({"h1": [("M:0", 7.5, 20 * GIB, 1)]})
+        decision = enforcer().resolve(
+            probes, Violation(ViolationKind.LOCAL_OVERLOAD, 0.94, host_id="h1")
+        )
+        assert decision is not None
+        assert not decision.migrations and decision.new_hosts == 0
+        assert decision.shard_ops == [PlannedShardOp("M:0", "split", "h1")]
+        assert not decision.is_empty
+
+    def test_hottest_shardable_slice_is_chosen(self):
+        probes = make_probes({
+            "h1": [
+                ("M:0", 3.9, 100, 2),
+                ("M:1", 3.8, 100, 1),
+                ("AP:0", 0.1, 10, 0),  # not shardable: never picked
+            ]
+        })
+        decision = enforcer()._split_fallback(probes, "h1")
+        assert decision.shard_ops == [PlannedShardOp("M:0", "split", "h1")]
+
+    def test_no_shardable_slice_yields_none(self):
+        probes = make_probes({"h1": [("AP:0", 7.5, 100, 0)]})
+        assert enforcer()._split_fallback(probes, "h1") is None
+
+    def test_empty_decision_accounting(self):
+        assert ScalingDecision(kind=ViolationKind.LOCAL_OVERLOAD).is_empty
+        assert not ScalingDecision(
+            kind=ViolationKind.LOCAL_OVERLOAD,
+            shard_ops=[PlannedShardOp("M:0", "split", "h1")],
+        ).is_empty
+
+
+class ManagerHarness:
+    def __init__(self, subs=40):
+        self.env = Environment()
+        self.cloud = CloudProvider(self.env, spec=HostSpec(cores=8),
+                                   max_hosts=10)
+        self.engine_hosts = [self.cloud.provision_now()]
+        sink = self.cloud.provision_now()
+        config = HubConfig(
+            ap_slices=1, m_slices=2, ep_slices=1, sink_slices=1,
+            cost_model=CostModel(aspe_match_op_s=1e-6),
+            backend_factory=lambda index: ExactBackend(ShardedAspeLibrary()),
+        )
+        self.hub = StreamHub(self.env, self.cloud.network, config)
+        self.hub.deploy_all_on(self.engine_hosts, [sink])
+        self.manager = ElasticityManager(
+            self.hub, self.cloud, self.engine_hosts,
+            policy=ElasticityPolicy(), coord=CoordinationKernel(),
+            probe_interval_s=5.0,
+        )
+        workload = ScaleWorkload(seed=6)
+        for batch in workload.subscription_batches(subs):
+            for sub_id, payload in batch:
+                self.hub.subscribe(Subscription(sub_id, sub_id, payload))
+        self.env.run()
+
+    def execute(self, decision):
+        self.env.process(self.manager._execute(decision))
+        self.env.run()
+
+
+def test_manager_executes_planned_shard_ops():
+    h = ManagerHarness()
+    host_id = h.engine_hosts[0].host_id
+    h.execute(ScalingDecision(
+        kind=ViolationKind.LOCAL_OVERLOAD,
+        shard_ops=[PlannedShardOp("M:0", "split", host_id),
+                   PlannedShardOp("M:1", "split", host_id)],
+    ))
+    assert h.hub.runtime.shard_ops_completed == 2
+    assert h.hub.runtime.slice_stats("M:0")["shards"] == 2
+    assert h.hub.runtime.slice_stats("M:1")["shards"] == 2
+    assert len(h.manager.shard_op_reports) == 2
+    assert {r.op for r in h.manager.shard_op_reports} == {"split"}
+    record = h.manager.history[-1]
+    assert record.shard_ops == 2
+    assert record.failures == 0
+
+
+def test_manager_counts_inapplicable_shard_op_as_failure():
+    h = ManagerHarness(subs=0)  # empty matchers: split not applicable
+    host_id = h.engine_hosts[0].host_id
+    h.execute(ScalingDecision(
+        kind=ViolationKind.LOCAL_OVERLOAD,
+        shard_ops=[PlannedShardOp("M:0", "split", host_id)],
+    ))
+    assert h.hub.runtime.shard_ops_completed == 0
+    assert not h.manager.shard_op_reports
+    record = h.manager.history[-1]
+    assert record.shard_ops == 0
+    assert record.failures == 1
+
+
+def test_probe_collector_reports_shard_counts():
+    h = ManagerHarness()
+    h.hub.runtime.reshard("M:0", "split")
+    h.env.run()
+    probes = h.manager.collector.collect_now()
+    assert probes.slices["M:0"].shard_count == 2
+    assert probes.slices["M:1"].shard_count == 1
+    assert probes.slices["AP:0"].shard_count == 0

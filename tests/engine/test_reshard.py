@@ -1,0 +1,171 @@
+"""Tests for shard split/merge as a first-class runtime operation."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.engine import MigrationCosts, MigrationError, ShardOpReport
+from repro.telemetry import Telemetry
+
+from .helpers import Harness, Recorder
+
+FAST = MigrationCosts(
+    pre_s=0.01, post_s=0.01,
+    serialize_s_per_byte=1e-9, deserialize_s_per_byte=1e-9,
+)
+
+
+@dataclass(frozen=True)
+class FakeShardOp:
+    pivot_key: Optional[int]
+    moved_subscriptions: int
+    rows_rewritten: int
+    bytes_rewritten: int
+    shards_before: int
+    shards_after: int
+
+
+class ShardableRecorder(Recorder):
+    """A recorder whose state can split/merge like a sharded matcher."""
+
+    def __init__(self, splittable=True):
+        super().__init__()
+        self.shards = 1
+        self.splittable = splittable
+
+    def shard_count(self):
+        return self.shards
+
+    def can_reshard(self, op):
+        if op == "split":
+            return self.splittable
+        return self.shards >= 2
+
+    def adopt_from(self, other):
+        self.shards = other.shards
+        self.received = other.received
+
+    def reshard(self, op, shard_index=None, pivot_key=None):
+        before = self.shards
+        if op == "split":
+            self.shards += 1
+            return FakeShardOp(pivot_key=pivot_key or 42,
+                               moved_subscriptions=5, rows_rewritten=10,
+                               bytes_rewritten=1000, shards_before=before,
+                               shards_after=self.shards)
+        self.shards -= 1
+        return FakeShardOp(pivot_key=None, moved_subscriptions=5,
+                           rows_rewritten=0, bytes_rewritten=0,
+                           shards_before=before, shards_after=self.shards)
+
+
+def deploy(h, handler_factory):
+    h.runtime.add_operator("S", 1, handler_factory)
+    h.runtime.deploy_operator("S", [h.hosts[0]])
+
+
+def run_reshard(h, op, **kwargs):
+    process = h.runtime.reshard("S:0", op, **kwargs)
+    h.env.run()
+    assert process.ok, process.value
+    return process.value
+
+
+def test_split_produces_report_and_swaps_instance():
+    h = Harness(hosts=1, migration_costs=FAST)
+    deploy(h, lambda i: ShardableRecorder())
+    old = h.handler("S:0")
+    report = run_reshard(h, "split", pivot_key=7)
+    new = h.handler("S:0")
+    assert isinstance(report, ShardOpReport)
+    assert new is not old  # migration protocol: a twin took over
+    assert new.shards == 2
+    assert report.op == "split" and report.slice_id == "S:0"
+    assert report.host == h.hosts[0].host_id
+    assert report.pivot_key == 7
+    assert (report.shards_before, report.shards_after) == (1, 2)
+    assert report.rows_rewritten == 10
+    assert report.state_bytes == 1000
+    assert report.duration_s >= 0.02  # pre + post phases
+    assert report.interruption_s < report.duration_s
+    assert h.runtime.shard_ops_completed == 1
+    assert h.runtime.migrations_completed == 0  # counted separately
+
+
+def test_merge_after_split_and_slice_stats_shards():
+    h = Harness(hosts=1, migration_costs=FAST)
+    deploy(h, lambda i: ShardableRecorder())
+    run_reshard(h, "split")
+    assert h.runtime.slice_stats("S:0")["shards"] == 2
+    report = run_reshard(h, "merge")
+    assert report.op == "merge"
+    assert report.state_bytes == 0  # chunk adoption costs no CPU
+    assert h.handler("S:0").shards == 1
+    assert h.runtime.slice_stats("S:0")["shards"] == 1
+    assert h.runtime.shard_ops_completed == 2
+
+
+def test_events_survive_a_reshard():
+    h = Harness(hosts=1, cores=4, migration_costs=FAST)
+    deploy(h, lambda i: ShardableRecorder())
+
+    def feeder():
+        for value in range(30):
+            h.runtime.inject("client", "S", "e", value, 100, key=value)
+            yield h.env.timeout(0.002)
+
+    def resharder():
+        yield h.env.timeout(0.02)
+        yield h.runtime.reshard("S:0", "split")
+
+    h.env.process(feeder())
+    h.env.process(resharder())
+    h.env.run()
+    received = [p for (_, _, p) in h.handler("S:0").received]
+    assert sorted(received) == list(range(30))
+
+
+def test_reshard_validation_errors():
+    h = Harness(hosts=1, migration_costs=FAST)
+    deploy(h, lambda i: ShardableRecorder(splittable=False))
+
+    def expect_error(slice_id, op, match):
+        process = h.runtime.reshard(slice_id, op)
+        with pytest.raises(MigrationError, match=match):
+            h.env.run()
+        assert not process.ok
+
+    expect_error("S:0", "rotate", "unknown shard operation")
+    expect_error("X:0", "split", "unknown slice")
+    expect_error("S:0", "split", "cannot split")  # handler refuses
+    expect_error("S:0", "merge", "cannot merge")  # only one shard
+
+
+def test_plain_handler_cannot_reshard():
+    h = Harness(hosts=1, migration_costs=FAST)
+    deploy(h, lambda i: Recorder())
+    process = h.runtime.reshard("S:0", "split")
+    with pytest.raises(MigrationError):
+        h.env.run()
+    assert not process.ok
+
+
+def test_reshard_emits_phase_spans():
+    h = Harness(hosts=1, migration_costs=FAST)
+    telemetry = Telemetry(h.env)
+    h.runtime.bind_telemetry(telemetry)
+    deploy(h, lambda i: ShardableRecorder())
+    run_reshard(h, "split")
+    spans = {s.name: s for s in telemetry.tracer.spans}
+    assert "reshard" in spans
+    for phase in ("pre", "sync", "pause", "copy", "post"):
+        assert f"reshard.{phase}" in spans
+    root = spans["reshard"]
+    assert root.attrs["op"] == "split"
+    assert root.attrs["shards_after"] == 2
+    # Phases tile the root span's duration.
+    children = [s for s in telemetry.tracer.spans
+                if s.name.startswith("reshard.")]
+    total = sum(s.duration_s for s in children)
+    assert total == pytest.approx(root.duration_s, rel=1e-6)
