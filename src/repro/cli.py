@@ -97,6 +97,48 @@ def _add_store_options(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_net_options(p: argparse.ArgumentParser) -> None:
+    """Transport-layer knobs (flush policy + credit backpressure)."""
+    from .transport import FLUSH_MODES
+
+    p.add_argument(
+        "--net-flush-mode", choices=list(FLUSH_MODES), default=None,
+        help="channel flush policy (default: REPRO_NET_FLUSH_MODE or eager)",
+    )
+    p.add_argument(
+        "--net-flush-s", type=float, default=None,
+        help="per-channel flush delay budget in seconds",
+    )
+    p.add_argument(
+        "--net-flush-max-batch", type=_positive_chunk_rows, default=None,
+        help="flush as soon as this many messages are pending",
+    )
+    p.add_argument(
+        "--net-backpressure", action="store_true", default=None,
+        help="enable credit-based backpressure on every channel",
+    )
+    p.add_argument(
+        "--net-credit-window", type=_positive_chunk_rows, default=None,
+        help="send credits per channel (default: REPRO_NET_CREDIT_WINDOW or 256)",
+    )
+
+
+def _net_overrides(args) -> dict:
+    """HubConfig transport kwargs for the --net-* flags the user passed."""
+    overrides = {}
+    for attr, field in (
+        ("net_flush_mode", "net_flush_mode"),
+        ("net_flush_s", "net_flush_s"),
+        ("net_flush_max_batch", "net_flush_max_batch"),
+        ("net_backpressure", "net_backpressure"),
+        ("net_credit_window", "net_credit_window"),
+    ):
+        value = getattr(args, attr, None)
+        if value is not None:
+            overrides[field] = value
+    return overrides
+
+
 def _store_overrides(args) -> dict:
     """HubConfig store kwargs for the --store-* flags the user passed."""
     overrides = {}
@@ -159,8 +201,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--publications", type=int, default=200)
     p.add_argument("--no-migration", action="store_true",
                    help="skip the mid-run M slice migration")
+    p.add_argument(
+        "--stream-window", type=_positive_chunk_rows, default=None,
+        help="stream spans to disk every N spans instead of holding the "
+             "whole trace in memory (same output bytes)",
+    )
     _add_match_options(p)
     _add_store_options(p)
+    _add_net_options(p)
 
     p = sub.add_parser(
         "metrics",
@@ -173,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--publications", type=int, default=200)
     _add_match_options(p)
     _add_store_options(p)
+    _add_net_options(p)
     return parser
 
 
@@ -333,6 +382,8 @@ def _telemetry_demo(
     match_backend: str = "auto",
     match_chunk_rows: int = 4096,
     store_overrides: Optional[dict] = None,
+    net_overrides: Optional[dict] = None,
+    stream_trace_to: Optional[tuple] = None,
 ):
     """One small telemetry-enabled deployment, fully deterministic.
 
@@ -362,6 +413,9 @@ def _telemetry_demo(
 
     env = Environment()
     telemetry = Telemetry(env)
+    if stream_trace_to is not None:
+        path, window = stream_trace_to
+        telemetry.tracer.stream_to(path, window_spans=window)
     cloud = CloudProvider(env, spec=HostSpec(cores=8), max_hosts=4)
     hosts = [cloud.provision_now() for _ in range(3)]
     shared = dict(
@@ -374,6 +428,7 @@ def _telemetry_demo(
         match_backend=match_backend,
         match_chunk_rows=match_chunk_rows,
         **(store_overrides or {}),
+        **(net_overrides or {}),
     )
     cipher = None
     if match_workers > 0:
@@ -424,6 +479,9 @@ def _telemetry_demo(
 
 
 def _cmd_trace(args) -> None:
+    stream_trace_to = None
+    if args.stream_window is not None:
+        stream_trace_to = (args.out, args.stream_window)
     tel, report = _telemetry_demo(
         args.publications,
         migrate=not args.no_migration,
@@ -431,9 +489,15 @@ def _cmd_trace(args) -> None:
         match_backend=args.match_backend,
         match_chunk_rows=args.match_chunk_rows,
         store_overrides=_store_overrides(args),
+        net_overrides=_net_overrides(args),
+        stream_trace_to=stream_trace_to,
     )
+    # Streaming finalization clears the resident list, so take the count
+    # and the migration-phase spans before writing.
+    phases = [s for s in tel.tracer.spans if s.name.startswith("migration.")]
+    total_spans = tel.tracer.flushed_spans + len(tel.tracer.spans)
     tel.tracer.write_jsonl(args.out)
-    print(f"trace: {len(tel.tracer.spans)} spans -> {args.out}")
+    print(f"trace: {total_spans} spans -> {args.out}")
     print(format_table(
         ["span", "count", "total s", "mean s", "max s"],
         [
@@ -441,10 +505,7 @@ def _cmd_trace(args) -> None:
             for name, count, total, mean, peak in tel.tracer.breakdown()
         ],
     ))
-    if report is not None:
-        phases = [
-            s for s in tel.tracer.spans if s.name.startswith("migration.")
-        ]
+    if report is not None and phases:
         phase_sum = sum(s.duration_s for s in phases)
         print(
             f"migration {report.slice_id}: "
@@ -471,6 +532,7 @@ def _cmd_metrics(args) -> None:
         match_backend=args.match_backend,
         match_chunk_rows=args.match_chunk_rows,
         store_overrides=_store_overrides(args),
+        net_overrides=_net_overrides(args),
     )
     registry = tel.metrics
     if args.fmt == "table":

@@ -34,6 +34,16 @@ class SliceProbe:
     processed_delta: int = 0
     #: Key-range shards the slice's handler holds (0 = not shardable).
     shard_count: int = 0
+    #: Messages parked behind the slice's credit-starved outbound
+    #: channels — upstream pressure: the slice's *receivers* are the
+    #: bottleneck, so scaling this slice up would not help.
+    spill_depth: int = 0
+    #: Outbound channels currently waiting for credits.
+    starved_channels: int = 0
+    #: Send credits held by messages in flight toward this slice — how
+    #: close its inbox is to the configured bound (0 when backpressure
+    #: is off).
+    credits_outstanding: int = 0
 
     def demand_cores(
         self, window_s: float, cap_cores: float = 16.0, drain_windows: float = 3.0
@@ -173,10 +183,12 @@ class ProbeCollector:
             )
 
         slices = {}
+        transport = self.runtime.transport
         for slice_id in self.managed_slices:
             stats = self.runtime.slice_stats(slice_id)
             previous_processed = self._processed_counts.get(slice_id, 0)
             self._processed_counts[slice_id] = stats["processed"]
+            flow = transport.outbound_stats(slice_id)
             slices[slice_id] = SliceProbe(
                 slice_id=slice_id,
                 host_id=stats["host"],
@@ -185,6 +197,11 @@ class ProbeCollector:
                 queue_length=stats["queue_length"],
                 processed_delta=max(0, stats["processed"] - previous_processed),
                 shard_count=stats.get("shards", 0),
+                spill_depth=int(flow["spill_depth"]),
+                starved_channels=int(flow["starved_channels"]),
+                credits_outstanding=transport.inbound_credits_outstanding(
+                    self.runtime._active(slice_id)
+                ),
             )
         probe_set = ProbeSet(
             time=self.env.now, window_s=self.interval_s, hosts=hosts, slices=slices
@@ -211,6 +228,12 @@ class ProbeCollector:
             telemetry.slice_state_bytes.labels(slice=probe.slice_id).set(
                 probe.memory_bytes
             )
+            telemetry.transport_spill_depth.labels(slice=probe.slice_id).set(
+                probe.spill_depth
+            )
+            telemetry.transport_credits_outstanding.labels(
+                slice=probe.slice_id
+            ).set(probe.credits_outstanding)
 
     def _run(self):
         from ..sim import Interrupt

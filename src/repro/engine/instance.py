@@ -67,6 +67,15 @@ class SliceInstance:
         self.processed_count = 0
         self.dropped_duplicates = 0
         self.dropped_replays = 0
+        #: High-water inbox depth — the backpressure bench's bound check.
+        self.peak_queue_length = 0
+        #: The runtime transport when credit-based backpressure is on
+        #: (``None`` otherwise, keeping the hot paths free).  Every event
+        #: consumed a send credit on its channel; the credit must return
+        #: on *every* path an event permanently leaves the in-flight set:
+        #: deliver-time drops, worker dequeues, and coalescing drains.
+        transport = runtime.transport
+        self._flow = transport if transport.backpressure else None
         #: True while the instance is reprocessing replayed events after a
         #: crash recovery; its emissions are flagged for receiver-side
         #: deduplication during this window.
@@ -89,8 +98,10 @@ class SliceInstance:
     # -- delivery -------------------------------------------------------------
 
     def deliver(self, event: StreamEvent) -> None:
-        """Entry point for the network layer."""
+        """Entry point for the transport layer."""
         if self._destroyed:
+            if self._flow is not None:
+                self._flow.on_consumed(self, event.source)
             return
         if event.replayed and self._replay_dedup:
             first = self._first_original.get(event.source)
@@ -100,6 +111,8 @@ class SliceInstance:
             ):
                 # Already received as an original delivery: a duplicate.
                 self.dropped_replays += 1
+                if self._flow is not None:
+                    self._flow.on_consumed(self, event.source)
                 return
         else:
             if event.source not in self._first_original:
@@ -108,6 +121,9 @@ class SliceInstance:
             if event.seq > previous:
                 self.last_received[event.source] = event.seq
         self.inbox.put_nowait(event)
+        depth = len(self.inbox)
+        if depth > self.peak_queue_length:
+            self.peak_queue_length = depth
 
     @property
     def queue_length(self) -> int:
@@ -159,6 +175,10 @@ class SliceInstance:
                 worker.interrupt("destroyed")
         self._workers = []
         self.handler.detach()
+        # Release inbound channels (and their credits/spill) with the
+        # instance; channels keyed by this slice's logical id as *source*
+        # survive for the successor instance.
+        self.runtime.transport.release_instance(self)
 
     # -- migration support -------------------------------------------------------
 
@@ -225,10 +245,14 @@ class SliceInstance:
                 # run of coalescible events.
                 items.popleft()
                 self.dropped_duplicates += 1
+                if self._flow is not None:
+                    self._flow.on_consumed(self, candidate.source)
                 continue
             if not self.handler.coalesce_with(head, candidate):
                 break
             items.popleft()
+            if self._flow is not None:
+                self._flow.on_consumed(self, candidate.source)
             batch.append(candidate)
         return batch
 
@@ -277,6 +301,10 @@ class SliceInstance:
                 event: StreamEvent = self.inbox.try_get()
                 if event is None:
                     event = yield self.inbox.get()
+                if self._flow is not None:
+                    # Dequeued: the inbox slot is free, return the credit
+                    # (drop paths below already have it accounted).
+                    self._flow.on_consumed(self, event.source)
                 if self._destroyed or self._halted:
                     continue  # safe drop: duplicated to the new instance
                 if (

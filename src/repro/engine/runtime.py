@@ -81,9 +81,17 @@ class EngineRuntime:
         env: Environment,
         network: Network,
         migration_costs: MigrationCosts = MigrationCosts(),
+        transport_config=None,
     ):
+        from ..transport import Transport
+
         self.env = env
         self.network = network
+        #: Flow-controlled event-plane transport over the fabric; a pure
+        #: passthrough with the default configuration.  ``None`` config
+        #: reads the ``REPRO_NET_*`` environment, so existing deployments
+        #: flip to adaptive flush / backpressure without code changes.
+        self.transport = Transport(env, network, transport_config)
         self.migration_costs = migration_costs
         self.operators: Dict[str, OperatorInfo] = {}
         self.slices: Dict[str, LogicalSlice] = {}
@@ -114,6 +122,7 @@ class EngineRuntime:
         """
         self.telemetry = telemetry
         self._routed_fam = telemetry.events_routed if telemetry is not None else None
+        self.transport.bind_telemetry(telemetry)
 
     # -- topology construction ---------------------------------------------------
 
@@ -236,13 +245,7 @@ class EngineRuntime:
             if self.retention is not None:
                 self.retention.record(source_key, logical.id, event)
             for instance in logical.instances():
-                self.network.send(
-                    src_host,
-                    instance.host.host_id,
-                    size_bytes,
-                    event,
-                    instance.deliver,
-                )
+                self.transport.send(source_key, src_host, instance, event)
 
     def route_batch(
         self,
@@ -300,22 +303,7 @@ class EngineRuntime:
                     operator=dest_id.split(":", 1)[0]
                 ).inc(len(events))
             for instance in logical.instances():
-                if len(events) == 1:
-                    self.network.send(
-                        src_host,
-                        instance.host.host_id,
-                        events[0].size_bytes,
-                        events[0],
-                        instance.deliver,
-                    )
-                else:
-                    self.network.send_batch(
-                        src_host,
-                        instance.host.host_id,
-                        [event.size_bytes for event in events],
-                        events,
-                        instance.deliver,
-                    )
+                self.transport.send_many(source_key, src_host, instance, events)
 
     def inject(
         self,

@@ -16,6 +16,7 @@ from ..filtering import CostModel
 from ..pubsub import HubConfig, StreamHub, Subscription
 from ..pubsub.source import SourceDriver
 from ..sim import Environment
+from ..transport import TransportConfig
 
 __all__ = ["ExperimentSetup", "Deployment", "host_split"]
 
@@ -37,13 +38,36 @@ class ExperimentSetup:
     cost_model: CostModel = field(default_factory=CostModel)
     #: Per-sender channel flush interval (StreamMine3G micro-batching);
     #: dominates the steady-state notification delay (DESIGN.md §5).
+    #: Plumbs into ``HubConfig.net_flush_s`` — the hub configuration is
+    #: the single source of truth for transport knobs, and the deployment
+    #: builds the fabric from it.
     batch_flush_s: float = 0.10
+    #: Channel flush policy (DESIGN.md §9).  ``None`` derives the
+    #: pre-transport behaviour from ``batch_flush_s``: ``fixed`` fabric
+    #: epochs when positive, ``eager`` when zero.  Set ``adaptive`` for
+    #: per-channel latency-bounded flush with ``batch_flush_s`` as the
+    #: delay budget.
+    flush_mode: Optional[str] = None
+    #: Credit-based backpressure on every transport channel.  Defaults
+    #: from ``REPRO_NET_BACKPRESSURE`` so the environment flips the
+    #: experiments too.
+    backpressure: bool = field(
+        default_factory=lambda: TransportConfig.from_env().backpressure
+    )
+    #: Send credits per channel when backpressure is on.  From
+    #: ``REPRO_NET_CREDIT_WINDOW``.
+    credit_window: int = field(
+        default_factory=lambda: TransportConfig.from_env().credit_window
+    )
     seed: int = 1
     #: Optional :class:`repro.telemetry.Telemetry` bundle; when set, every
     #: experiment run records spans and metrics (see OBSERVABILITY.md).
     telemetry: Optional[object] = None
 
     def hub_config(self) -> HubConfig:
+        flush_mode = self.flush_mode
+        if flush_mode is None:
+            flush_mode = "fixed" if self.batch_flush_s > 0.0 else "eager"
         return HubConfig.sampled(
             self.matching_rate,
             ap_slices=self.ap_slices,
@@ -53,6 +77,10 @@ class ExperimentSetup:
             parallelism=self.parallelism,
             cost_model=self.cost_model,
             telemetry=self.telemetry,
+            net_flush_mode=flush_mode,
+            net_flush_s=self.batch_flush_s,
+            net_backpressure=self.backpressure,
+            net_credit_window=self.credit_window,
         )
 
 
@@ -81,7 +109,10 @@ class Deployment:
 
         self.cloud = CloudProvider(
             self.env,
-            network=Network(self.env, batch_flush_s=self.setup.batch_flush_s),
+            # The transport layer programs the fabric's flush epochs from
+            # the hub configuration (single source of truth) when the hub
+            # is constructed below.
+            network=Network(self.env),
             spec=HostSpec(cores=self.setup.host_cores),
             max_hosts=self.setup.max_hosts + 2,  # + sink/source hosts
             provisioning_delay_s=self.setup.provisioning_delay_s,

@@ -19,34 +19,12 @@ import os
 from dataclasses import dataclass
 from typing import Optional
 
+from ...config import env_float, env_int, env_str
+
 __all__ = ["STORE_BACKENDS", "StoreConfig"]
 
 #: Recognised packed-row store backends.
 STORE_BACKENDS = ("dense", "chunked", "mmap")
-
-
-def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name)
-    if raw is None or raw.strip() == "":
-        return default
-    try:
-        return int(raw)
-    except ValueError:
-        raise ValueError(
-            f"environment variable {name} must be an integer, got {raw!r}"
-        ) from None
-
-
-def _env_float(name: str, default: float) -> float:
-    raw = os.environ.get(name)
-    if raw is None or raw.strip() == "":
-        return default
-    try:
-        return float(raw)
-    except ValueError:
-        raise ValueError(
-            f"environment variable {name} must be a number, got {raw!r}"
-        ) from None
 
 
 @dataclass(frozen=True)
@@ -113,9 +91,9 @@ class StoreConfig:
     def from_env(cls) -> "StoreConfig":
         """Build from ``REPRO_STORE_*`` (unset variables keep defaults)."""
         return cls(
-            backend=os.environ.get("REPRO_STORE_BACKEND", "dense"),
-            chunk_rows=_env_int("REPRO_STORE_CHUNK_ROWS", 65536),
-            memory_budget_mb=_env_float("REPRO_STORE_MEMORY_BUDGET_MB", 0.0),
-            compact_dead_ratio=_env_float("REPRO_STORE_COMPACT_DEAD_RATIO", 0.5),
+            backend=env_str("REPRO_STORE_BACKEND", "dense"),
+            chunk_rows=env_int("REPRO_STORE_CHUNK_ROWS", 65536),
+            memory_budget_mb=env_float("REPRO_STORE_MEMORY_BUDGET_MB", 0.0),
+            compact_dead_ratio=env_float("REPRO_STORE_COMPACT_DEAD_RATIO", 0.5),
             spill_dir=os.environ.get("REPRO_STORE_SPILL_DIR") or None,
         )

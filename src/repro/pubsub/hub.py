@@ -9,17 +9,17 @@ partitioning that makes elastic migration application-agnostic.
 
 from __future__ import annotations
 
-import os
-
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..cluster import Host, Network
+from ..config import env_int, env_str
 from ..engine import EngineRuntime, MigrationCosts
 from ..filtering import CostModel, MatchingBackend, SampledBackend, StoreConfig
 from ..metrics import DelaySample, DelayTracker
 from ..sim import Environment
 from ..telemetry import Telemetry
+from ..transport import TransportConfig
 from .messages import Notification, Publication, Subscription
 from .operators import (
     AccessPointHandler,
@@ -33,32 +33,24 @@ from .operators import (
 __all__ = ["HubConfig", "StreamHub"]
 
 
-def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name)
-    if raw is None or raw.strip() == "":
-        return default
-    try:
-        return int(raw)
-    except ValueError:
-        raise ValueError(
-            f"environment variable {name} must be an integer, got {raw!r}"
-        ) from None
-
-
 def _default_match_workers() -> int:
-    return _env_int("REPRO_MATCH_WORKERS", 0)
+    return env_int("REPRO_MATCH_WORKERS", 0)
 
 
 def _default_match_backend() -> str:
-    return os.environ.get("REPRO_MATCH_BACKEND", "auto")
+    return env_str("REPRO_MATCH_BACKEND", "auto")
 
 
 def _default_match_chunk_rows() -> int:
-    return _env_int("REPRO_MATCH_CHUNK_ROWS", 4096)
+    return env_int("REPRO_MATCH_CHUNK_ROWS", 4096)
 
 
 def _env_store_config() -> StoreConfig:
     return StoreConfig.from_env()
+
+
+def _env_transport_config() -> TransportConfig:
+    return TransportConfig.from_env()
 
 
 @dataclass
@@ -139,6 +131,35 @@ class HubConfig:
     store_spill_dir: Optional[str] = field(
         default_factory=lambda: _env_store_config().spill_dir
     )
+    #: Channel flush policy of the event-plane transport: ``eager`` (the
+    #: default: hand emissions straight to the fabric), ``fixed`` (fabric
+    #: flush epochs every ``net_flush_s``, the experiments' pre-transport
+    #: micro-batching) or ``adaptive`` (per-channel latency-bounded flush:
+    #: batch-full or ``net_flush_s`` delay budget, whichever first).  From
+    #: ``REPRO_NET_FLUSH_MODE``.  See DESIGN.md §9.
+    net_flush_mode: str = field(
+        default_factory=lambda: _env_transport_config().flush_mode
+    )
+    #: Flush epoch (``fixed``) / per-channel delay budget (``adaptive``)
+    #: in simulated seconds.  From ``REPRO_NET_FLUSH_S``.
+    net_flush_s: float = field(
+        default_factory=lambda: _env_transport_config().flush_s
+    )
+    #: Pending messages that force an adaptive channel to flush.  From
+    #: ``REPRO_NET_FLUSH_MAX_BATCH``.
+    net_flush_max_batch: int = field(
+        default_factory=lambda: _env_transport_config().flush_max_batch
+    )
+    #: Credit-based backpressure: bounded receiver inboxes, credits
+    #: granted back on consumption, senders shed to a spill queue when
+    #: out of credits.  From ``REPRO_NET_BACKPRESSURE``.
+    net_backpressure: bool = field(
+        default_factory=lambda: _env_transport_config().backpressure
+    )
+    #: Send credits per channel.  From ``REPRO_NET_CREDIT_WINDOW``.
+    net_credit_window: int = field(
+        default_factory=lambda: _env_transport_config().credit_window
+    )
 
     def __post_init__(self):
         if min(self.ap_slices, self.m_slices, self.ep_slices, self.sink_slices) <= 0:
@@ -166,6 +187,17 @@ class HubConfig:
                 f"got {self.match_backend!r}"
             )
         self.store_config()  # validate the store knobs early
+        self.transport_config()  # ... and the transport knobs
+
+    def transport_config(self) -> TransportConfig:
+        """The flow-control configuration of the event-plane transport."""
+        return TransportConfig(
+            flush_mode=self.net_flush_mode,
+            flush_s=self.net_flush_s,
+            flush_max_batch=self.net_flush_max_batch,
+            backpressure=self.net_backpressure,
+            credit_window=self.net_credit_window,
+        )
 
     def store_config(self) -> StoreConfig:
         """The packed-row store configuration for exact M-slice libraries."""
@@ -214,7 +246,12 @@ class StreamHub:
             )
         self.env = env
         self.config = config
-        self.runtime = EngineRuntime(env, network, migration_costs=config.migration_costs())
+        self.runtime = EngineRuntime(
+            env,
+            network,
+            migration_costs=config.migration_costs(),
+            transport_config=config.transport_config(),
+        )
         #: The bound telemetry bundle (``config.telemetry``), or ``None``.
         self.telemetry = config.telemetry
         self._delay_hist = None

@@ -425,7 +425,12 @@ class ExitPointHandler(SliceHandler):
         #: Max consecutively queued events coalesced into one join pass;
         #: completed notifications of the whole batch dispatch together.
         self.batch_limit = batch_limit
-        #: pub_id → [lists received, total matches, ids, published_at]
+        #: pub_id → [m-slices received, total matches, ids per m-slice,
+        #: published_at].  Partial subscriber lists are kept *per M slice*
+        #: and concatenated in M-slice index order at completion, so the
+        #: notification content is independent of the arrival order of
+        #: the partial lists — backpressured/adaptively-flushed runs emit
+        #: byte-identical notifications to serial runs (DESIGN.md §9).
         self.pending: Dict[int, List[Any]] = {}
         self.notifications_sent = 0
         #: Events that arrived in coalesced batches of size > 1.
@@ -484,7 +489,7 @@ class ExitPointHandler(SliceHandler):
     def _join(self, match_list: MatchList) -> Optional[Tuple[str, str, Any, int, Any]]:
         entry = self.pending.get(match_list.pub_id)
         if entry is None:
-            entry = [set(), 0, [] if match_list.subscriber_ids is not None else None,
+            entry = [set(), 0, {} if match_list.subscriber_ids is not None else None,
                      match_list.published_at]
             self.pending[match_list.pub_id] = entry
         if match_list.m_slice in entry[0]:
@@ -495,14 +500,21 @@ class ExitPointHandler(SliceHandler):
         entry[0].add(match_list.m_slice)
         entry[1] += match_list.count
         if entry[2] is not None and match_list.subscriber_ids is not None:
-            entry[2].extend(match_list.subscriber_ids)
+            entry[2][match_list.m_slice] = match_list.subscriber_ids
         if len(entry[0]) < self.m_slice_count:
             return None
         del self.pending[match_list.pub_id]
+        ids: Optional[Tuple[int, ...]] = None
+        if entry[2] is not None:
+            ids = tuple(
+                subscriber
+                for m_slice in sorted(entry[2])
+                for subscriber in entry[2][m_slice]
+            )
         notification = Notification(
             pub_id=match_list.pub_id,
             count=entry[1],
-            subscriber_ids=tuple(entry[2]) if entry[2] is not None else None,
+            subscriber_ids=ids,
             published_at=entry[3],
         )
         # Dispatching has its own CPU cost proportional to the number
@@ -534,7 +546,7 @@ class ExitPointHandler(SliceHandler):
     def export_state(self) -> Any:
         return {
             pub_id: [set(entry[0]), entry[1],
-                     list(entry[2]) if entry[2] is not None else None, entry[3]]
+                     dict(entry[2]) if entry[2] is not None else None, entry[3]]
             for pub_id, entry in self.pending.items()
         }
 
@@ -542,7 +554,7 @@ class ExitPointHandler(SliceHandler):
         if state is not None:
             self.pending = {
                 pub_id: [set(entry[0]), entry[1],
-                         list(entry[2]) if entry[2] is not None else None, entry[3]]
+                         dict(entry[2]) if entry[2] is not None else None, entry[3]]
                 for pub_id, entry in state.items()
             }
 

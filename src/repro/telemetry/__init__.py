@@ -127,6 +127,10 @@ class Telemetry:
             self.net_messages = None
             self.net_batches = None
             self.net_bytes = None
+            self.transport_flushes = None
+            self.transport_stall = None
+            self.transport_spill_depth = None
+            self.transport_credits_outstanding = None
             self.matcher_publications = None
             self.matcher_matches = None
             self.match_pool_inflight_batches = None
@@ -182,6 +186,29 @@ class Telemetry:
         self.net_bytes = m.counter(
             "net_bytes_sent_total", "Bytes handed to the network fabric",
             unit="bytes",
+        )
+        # Flow-controlled transport (repro.transport channels).
+        self.transport_flushes = m.counter(
+            "transport_flushes_total",
+            "Channel flushes by cause (eager/full/deadline/credit)",
+            labels=("cause",),
+        )
+        self.transport_stall = m.histogram(
+            "transport_stall_seconds",
+            "Time credit-starved channels spent waiting before sending",
+            unit="seconds",
+        )
+        self.transport_spill_depth = m.gauge(
+            "transport_spill_depth",
+            "Messages parked behind the slice's credit-starved channels "
+            "at the last heartbeat",
+            labels=("slice",),
+        )
+        self.transport_credits_outstanding = m.gauge(
+            "transport_credits_outstanding",
+            "Send credits held by in-flight/queued messages toward the "
+            "slice at the last heartbeat",
+            labels=("slice",),
         )
         # Matching plane.
         self.matcher_publications = m.counter(

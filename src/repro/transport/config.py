@@ -1,0 +1,96 @@
+"""Configuration of the flow-controlled transport layer.
+
+One :class:`TransportConfig` decides how per-destination channels batch
+and pace the event plane on top of the raw network fabric
+(:class:`~repro.cluster.Network`):
+
+``flush_mode``
+    ``eager`` (the default) hands every emission straight to the fabric —
+    the seed behaviour, byte-identical scheduling.  ``fixed`` keeps eager
+    channels but programs the fabric's per-sender flush epochs to
+    ``flush_s`` (the StreamMine3G-style global micro-batching the
+    experiments used before this layer existed).  ``adaptive`` batches in
+    the channel itself: a channel flushes when ``flush_max_batch``
+    messages are pending *or* when the oldest pending message is about to
+    exceed the ``flush_s`` delay budget — so lightly loaded channels pay
+    at most ``flush_s`` of batching delay while busy channels flush at
+    batch boundaries, with the fabric's own epoch batching disabled.
+``backpressure``
+    When true, every channel starts with ``credit_window`` send credits;
+    a message consumes one credit on the wire and the credit returns when
+    the receiving slice instance dequeues (or drops) the message, after
+    the channel's propagation latency.  A channel out of credits sheds to
+    its spill queue instead of blocking the emitting worker — senders
+    never stall inside ``process()``, which keeps the EP's self-addressed
+    dispatch loop deadlock-free — so receiver inboxes stay bounded by
+    ``credit_window`` per inbound channel and overload propagates
+    upstream as spill/delay instead of unbounded memory.
+
+Defaults come from the ``REPRO_NET_*`` environment variables (via the
+shared :mod:`repro.config` helpers) so an existing deployment or test run
+flips transport behaviour without code changes — the same convention as
+``REPRO_MATCH_*`` and ``REPRO_STORE_*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import env_bool, env_float, env_int, env_str
+
+__all__ = ["FLUSH_MODES", "TransportConfig"]
+
+#: Recognised channel flush modes.
+FLUSH_MODES = ("eager", "fixed", "adaptive")
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Validated knobs of the flow-controlled transport layer."""
+
+    flush_mode: str = "eager"
+    #: Delay budget (``adaptive``) or fabric flush epoch (``fixed``), in
+    #: simulated seconds.  Ignored by ``eager``.
+    flush_s: float = 0.0
+    #: Pending messages that force an immediate flush in ``adaptive`` mode.
+    flush_max_batch: int = 64
+    #: Enable credit-based backpressure on every channel.
+    backpressure: bool = False
+    #: Send credits per channel (max in-flight + queued messages one
+    #: channel may have at its receiver).
+    credit_window: int = 256
+
+    def __post_init__(self):
+        if self.flush_mode not in FLUSH_MODES:
+            raise ValueError(
+                f"flush_mode must be one of {FLUSH_MODES}, "
+                f"got {self.flush_mode!r}"
+            )
+        if self.flush_s < 0:
+            raise ValueError(f"flush_s must be >= 0, got {self.flush_s}")
+        if self.flush_max_batch < 1:
+            raise ValueError(
+                f"flush_max_batch must be >= 1, got {self.flush_max_batch}"
+            )
+        if self.credit_window < 1:
+            raise ValueError(
+                f"credit_window must be >= 1, got {self.credit_window}"
+            )
+
+    @property
+    def buffered(self) -> bool:
+        """True when channels accumulate before flushing (adaptive mode)."""
+        return self.flush_mode == "adaptive" and (
+            self.flush_s > 0.0 or self.flush_max_batch > 1
+        )
+
+    @classmethod
+    def from_env(cls) -> "TransportConfig":
+        """Build from ``REPRO_NET_*`` (unset variables keep defaults)."""
+        return cls(
+            flush_mode=env_str("REPRO_NET_FLUSH_MODE", "eager", FLUSH_MODES),
+            flush_s=env_float("REPRO_NET_FLUSH_S", 0.0),
+            flush_max_batch=env_int("REPRO_NET_FLUSH_MAX_BATCH", 64),
+            backpressure=env_bool("REPRO_NET_BACKPRESSURE", False),
+            credit_window=env_int("REPRO_NET_CREDIT_WINDOW", 256),
+        )

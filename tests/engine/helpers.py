@@ -69,7 +69,13 @@ class Forwarder(SliceHandler):
 class Harness:
     """Environment + cloud + runtime with convenience accessors."""
 
-    def __init__(self, hosts: int = 2, cores: int = 4, migration_costs: Optional[MigrationCosts] = None):
+    def __init__(
+        self,
+        hosts: int = 2,
+        cores: int = 4,
+        migration_costs: Optional[MigrationCosts] = None,
+        transport_config=None,
+    ):
         self.env = Environment()
         self.cloud = CloudProvider(
             self.env, spec=HostSpec(cores=cores), max_hosts=max(hosts, 30)
@@ -79,6 +85,7 @@ class Harness:
             self.env,
             self.cloud.network,
             migration_costs=migration_costs or MigrationCosts(),
+            transport_config=transport_config,
         )
 
     def handler(self, slice_id):
