@@ -11,12 +11,17 @@ Usage::
     python -m repro.cli ablations [--which selection|grace|target]
     python -m repro.cli trace   [--out trace.jsonl]
     python -m repro.cli metrics [--format table|prom|json]
+    python -m repro.cli policy  [--signals cpu,slo,spill]
 
 Each experiment command prints the same ``paper vs measured`` report the
 benchmark harness produces (see EXPERIMENTS.md).  ``trace`` and
 ``metrics`` drive a small telemetry-enabled deployment (with one live M
 slice migration) and emit its span trace / metric registry — the ops
-surface documented in OBSERVABILITY.md.
+surface documented in OBSERVABILITY.md.  ``policy`` prints the resolved
+elasticity-policy signal stack and thresholds with the provenance of
+each knob (CLI flag, ``REPRO_POLICY_*`` variable, or built-in default);
+the same ``--signals``/``--slo-*``/``--spill-*`` flags steer the elastic
+experiments (``figure8``/``figure9``).
 """
 
 from __future__ import annotations
@@ -123,6 +128,102 @@ def _add_net_options(p: argparse.ArgumentParser) -> None:
     )
 
 
+#: ``argparse`` destinations of the policy flags — identical to the
+#: :class:`repro.elastic.PolicyConfig` knob names, so the parsed values
+#: forward verbatim as ``from_env`` overrides.
+_POLICY_FLAG_DESTS = (
+    "signals",
+    "target_utilization",
+    "scale_out_threshold",
+    "scale_in_threshold",
+    "local_overload_threshold",
+    "grace_period_s",
+    "min_hosts",
+    "backlog_aware_scaling",
+    "max_scale_out_factor",
+    "slo_p99_s",
+    "slo_window_s",
+    "slo_min_samples",
+    "slo_sustain_rounds",
+    "slo_release_fraction",
+    "slo_veto_max_rounds",
+    "spill_depth_limit",
+    "spill_starved_limit",
+    "spill_sustain_rounds",
+    "spill_hold_rounds",
+    "symptom_target_fraction",
+)
+
+
+def _add_policy_options(p: argparse.ArgumentParser) -> None:
+    """Elasticity-policy knobs (signal stack, thresholds, SLO, spill)."""
+    p.add_argument(
+        "--signals", default=None,
+        help="comma-separated policy signal stack, e.g. cpu,slo,spill "
+             "(default: REPRO_POLICY_SIGNALS or cpu)",
+    )
+    p.add_argument("--target-utilization", type=float, default=None,
+                   help="utilization the enforcer packs hosts toward")
+    p.add_argument("--scale-out-threshold", type=float, default=None,
+                   help="global rule: scale out above this average CPU")
+    p.add_argument("--scale-in-threshold", type=float, default=None,
+                   help="global rule: scale in below this average CPU")
+    p.add_argument("--local-overload-threshold", type=float, default=None,
+                   help="local rule: rebalance a host above this CPU")
+    p.add_argument("--grace-period-s", type=float, default=None,
+                   help="settle window between enforcement actions")
+    p.add_argument("--min-hosts", type=int, default=None,
+                   help="never release below this many hosts")
+    p.add_argument(
+        "--backlog-aware-scaling", action=argparse.BooleanOptionalAction,
+        default=None,
+        help="size scale-outs from CPU + queue backlog (default: on)",
+    )
+    p.add_argument("--max-scale-out-factor", type=float, default=None,
+                   help="max fleet growth factor per decision")
+    p.add_argument("--slo-p99-s", type=float, default=None,
+                   help="target p99 notification delay for the slo signal")
+    p.add_argument("--slo-window-s", type=float, default=None,
+                   help="sliding window the p99 is computed over")
+    p.add_argument("--slo-min-samples", type=int, default=None,
+                   help="min delay samples before the slo signal speaks")
+    p.add_argument("--slo-sustain-rounds", type=int, default=None,
+                   help="consecutive breached rounds before slo fires")
+    p.add_argument("--slo-release-fraction", type=float, default=None,
+                   help="scale-in vetoed while p99 > fraction * SLO")
+    p.add_argument("--slo-veto-max-rounds", type=int, default=None,
+                   help="consecutive vetoed scale-ins before the veto "
+                        "expires (0 = never)")
+    p.add_argument("--spill-depth-limit", type=int, default=None,
+                   help="summed spill depth that counts as pressure")
+    p.add_argument("--spill-starved-limit", type=int, default=None,
+                   help="summed starved channels that count as pressure")
+    p.add_argument("--spill-sustain-rounds", type=int, default=None,
+                   help="consecutive pressured rounds before spill fires")
+    p.add_argument("--spill-hold-rounds", type=int, default=None,
+                   help="calm rounds tolerated before the spill streak "
+                        "and veto reset")
+    p.add_argument("--symptom-target-fraction", type=float, default=None,
+                   help="symptom scale-outs pack toward target * fraction")
+
+
+def _policy_overrides(args) -> dict:
+    """PolicyConfig overrides for the policy flags the user passed."""
+    overrides = {}
+    for dest in _POLICY_FLAG_DESTS:
+        value = getattr(args, dest, None)
+        if value is not None:
+            overrides[dest] = value
+    return overrides
+
+
+def _policy_from_args(args):
+    """The :class:`ElasticityPolicy` resolved from CLI > env > default."""
+    from .elastic import PolicyConfig
+
+    return PolicyConfig.from_env(**_policy_overrides(args)).policy()
+
+
 def _net_overrides(args) -> dict:
     """HubConfig transport kwargs for the --net-* flags the user passed."""
     overrides = {}
@@ -179,10 +280,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure8", help="synthetic elastic scaling (Figure 8)")
     p.add_argument("--time-scale", type=float, default=0.25)
     p.add_argument("--peak", type=float, default=350.0)
+    _add_policy_options(p)
 
     p = sub.add_parser("figure9", help="FSE trace elastic scaling (Figure 9)")
     p.add_argument("--time-scale", type=float, default=0.5)
     p.add_argument("--peak", type=float, default=190.0)
+    _add_policy_options(p)
 
     p = sub.add_parser("ablations", help="enforcer design-choice ablations")
     p.add_argument("--which", choices=["selection", "grace", "target"],
@@ -222,6 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_match_options(p)
     _add_store_options(p)
     _add_net_options(p)
+
+    p = sub.add_parser(
+        "policy",
+        help="print the resolved elasticity-policy signal stack and knobs",
+    )
+    _add_policy_options(p)
     return parser
 
 
@@ -322,7 +431,10 @@ def _cmd_figure8(args) -> None:
 
     print(f"Figure 8 — synthetic ramp to {args.peak:g} pub/s "
           f"(time scale {args.time_scale:g}; paper: 1 → ~15 → 1 hosts)")
-    _print_elastic(run_figure8(time_scale=args.time_scale, peak_rate=args.peak))
+    _print_elastic(run_figure8(
+        time_scale=args.time_scale, peak_rate=args.peak,
+        policy=_policy_from_args(args),
+    ))
 
 
 def _cmd_figure9(args) -> None:
@@ -330,7 +442,10 @@ def _cmd_figure9(args) -> None:
 
     print(f"Figure 9 — FSE trace replay, peak {args.peak:g} pub/s "
           f"(time scale {args.time_scale:g}; paper: 1 to 8 hosts)")
-    _print_elastic(run_figure9(time_scale=args.time_scale, peak_rate=args.peak))
+    _print_elastic(run_figure9(
+        time_scale=args.time_scale, peak_rate=args.peak,
+        policy=_policy_from_args(args),
+    ))
 
 
 def _cmd_ablations(args) -> None:
@@ -555,8 +670,31 @@ def _cmd_metrics(args) -> None:
         print(f"metrics: table -> {args.out}")
 
 
+def _cmd_policy(args) -> None:
+    from .elastic import PolicyConfig
+
+    overrides = _policy_overrides(args)
+    try:
+        config = PolicyConfig.from_env(**overrides)
+    except ValueError as exc:
+        raise SystemExit(f"policy: {exc}")
+    print("Elasticity policy — resolved configuration")
+    print(
+        "signal stack: "
+        + " > ".join(config.signals)
+        + "  (arbitration: scale-out > rebalance > scale-in, "
+        "ties to the earlier signal)"
+    )
+    rows = [
+        [knob, value, source]
+        for knob, value, source in PolicyConfig.provenance(**overrides)
+    ]
+    print(format_table(["knob", "value", "source"], rows))
+
+
 _COMMANDS = {
     "cost": _cmd_cost,
+    "policy": _cmd_policy,
     "figure1": _cmd_figure1,
     "figure6": _cmd_figure6,
     "table1": _cmd_table1,

@@ -1,7 +1,28 @@
 """E-STREAMHUB elasticity: probes, policy, enforcer, manager (paper §IV–V)."""
 
-from .probes import HostProbe, ProbeCollector, ProbeSet, SliceProbe
-from .policy import ElasticityPolicy, Violation, ViolationKind
+from .probes import (
+    DelayWindow,
+    DelayWindowAggregator,
+    HostProbe,
+    ProbeCollector,
+    ProbeSet,
+    SliceProbe,
+)
+from .policy import (
+    ElasticityPolicy,
+    PolicyConfig,
+    ScalingAction,
+    Violation,
+    ViolationKind,
+)
+from .signals import (
+    SIGNAL_NAMES,
+    CpuBandSignal,
+    DelaySloSignal,
+    SignalStack,
+    SignalVerdict,
+    SpillPressureSignal,
+)
 from .selection import (
     SliceLoad,
     select_slices,
@@ -18,6 +39,10 @@ from .enforcer import (
 from .manager import ElasticityManager, ManagerRecord
 
 __all__ = [
+    "CpuBandSignal",
+    "DelaySloSignal",
+    "DelayWindow",
+    "DelayWindowAggregator",
     "ElasticityEnforcer",
     "ElasticityManager",
     "ElasticityPolicy",
@@ -28,11 +53,17 @@ __all__ = [
     "Placement",
     "PlannedMigration",
     "PlannedShardOp",
+    "PolicyConfig",
     "ProbeCollector",
     "ProbeSet",
+    "SIGNAL_NAMES",
+    "ScalingAction",
     "ScalingDecision",
+    "SignalStack",
+    "SignalVerdict",
     "SliceLoad",
     "SliceProbe",
+    "SpillPressureSignal",
     "Violation",
     "ViolationKind",
     "first_fit_decreasing",

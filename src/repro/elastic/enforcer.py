@@ -26,7 +26,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .binpack import HostBin, first_fit_decreasing
-from .policy import ElasticityPolicy, Violation, ViolationKind
+from .policy import (
+    SYMPTOM_KINDS,
+    ElasticityPolicy,
+    ScalingAction,
+    Violation,
+    ViolationKind,
+)
 from .probes import ProbeSet
 from .selection import SliceLoad, select_slices
 
@@ -68,6 +74,8 @@ class ScalingDecision:
     release_hosts: List[str] = field(default_factory=list)
     #: Same-host shard reconfigurations (executed after migrations).
     shard_ops: List[PlannedShardOp] = field(default_factory=list)
+    #: Name of the policy signal whose violation produced the decision.
+    signal: str = "cpu"
 
     @property
     def is_empty(self) -> bool:
@@ -110,27 +118,53 @@ class ElasticityEnforcer:
 
     # -- public API -----------------------------------------------------------
 
-    def resolve(self, probes: ProbeSet, violation: Violation) -> Optional[ScalingDecision]:
+    def resolve(
+        self,
+        probes: ProbeSet,
+        violation: Violation,
+        verdict=None,
+    ) -> Optional[ScalingDecision]:
         """Turn one policy violation into a :class:`ScalingDecision`.
 
         Returns ``None`` when the two-step algorithm finds no useful move
-        (nothing to select, or no feasible placement).  With telemetry
-        bound, each call records an ``enforcer.decision`` event whose
-        attributes capture the full decision context: the probe window
-        (timestamp, width, average utilization, host count), the fired
-        rule and its measured value, the selected slices and their
-        placement, plus hosts provisioned/released — the record the
-        OBSERVABILITY.md worked example walks through.
+        (nothing to select, or no feasible placement).  The violation's
+        :attr:`~ViolationKind.action` picks the algorithm; symptom-kind
+        scale-outs (SLO breach, spill pressure) pack toward a reduced
+        utilization target (``target_utilization * symptom_target_fraction``)
+        so capacity is provisioned before CPU evidence exists.
+
+        With telemetry bound, each call records an ``enforcer.decision``
+        event whose attributes capture the full decision context: the
+        probe window (timestamp, width, average utilization, host count),
+        the fired rule and its measured value, the selected slices and
+        their placement, plus hosts provisioned/released — the record the
+        OBSERVABILITY.md worked example walks through.  ``verdict`` is
+        the optional :class:`~repro.elastic.signals.SignalVerdict` of the
+        round; non-CPU verdicts extend the record with the winning
+        signal, its typed evidence, and every contending/vetoed
+        violation (CPU-only rounds keep the exact historical attribute
+        set).
         """
-        if violation.kind is ViolationKind.GLOBAL_OVERLOAD:
-            decision = self._scale_out(probes)
-        elif violation.kind is ViolationKind.GLOBAL_UNDERLOAD:
-            decision = self._scale_in(probes)
+        action = violation.kind.action
+        if action is ScalingAction.SCALE_OUT:
+            utilization_target = None
+            if violation.kind in SYMPTOM_KINDS:
+                utilization_target = (
+                    self.policy.target_utilization
+                    * self.policy.symptom_target_fraction
+                )
+            decision = self._scale_out(
+                probes, kind=violation.kind, utilization_target=utilization_target
+            )
+        elif action is ScalingAction.SCALE_IN:
+            decision = self._scale_in(probes, kind=violation.kind)
         else:
             decision = self._local_rebalance(probes, violation.host_id)
+        if decision is not None:
+            decision.signal = violation.signal
         telemetry = self.telemetry
         if telemetry is not None:
-            self._record_decision(telemetry, probes, violation, decision)
+            self._record_decision(telemetry, probes, violation, decision, verdict)
         return decision
 
     def _record_decision(
@@ -139,6 +173,7 @@ class ElasticityEnforcer:
         probes: ProbeSet,
         violation: Violation,
         decision: Optional[ScalingDecision],
+        verdict=None,
     ) -> None:
         rule = violation.kind.value
         if telemetry.rule_firings is not None:
@@ -170,6 +205,19 @@ class ElasticityEnforcer:
                 attrs["shard_ops"] = [
                     (s.slice_id, s.op) for s in decision.shard_ops
                 ]
+            # A lone CPU verdict keeps the historical attribute set
+            # byte-for-byte; multi-signal rounds append their context.
+            if verdict is not None and not verdict.legacy_shape:
+                attrs["signal"] = violation.signal
+                attrs.update(violation.evidence_attrs())
+                contending = verdict.contending
+                if contending:
+                    attrs["contending"] = contending
+                if verdict.suppressed:
+                    attrs["vetoed"] = [
+                        (v.signal, v.kind.value, vetoer, reason)
+                        for v, vetoer, reason in verdict.suppressed
+                    ]
             tracer.event("enforcer.decision", **attrs)
 
     # -- helpers ------------------------------------------------------------------
@@ -219,11 +267,18 @@ class ElasticityEnforcer:
         removed_load: Optional[Dict[str, float]] = None,
         removed_memory: Optional[Dict[str, int]] = None,
         load_scale: float = 1.0,
+        capacity: Optional[float] = None,
     ) -> List[HostBin]:
-        """Bins for the running hosts at target capacity."""
+        """Bins for the running hosts at target capacity.
+
+        ``capacity`` overrides the per-host CPU capacity (cores) —
+        symptom-triggered scale-outs pack toward a reduced target.
+        """
         exclude_hosts = exclude_hosts or set()
         removed_load = removed_load or {}
         removed_memory = removed_memory or {}
+        if capacity is None:
+            capacity = self._target_capacity()
         bins = []
         for host in probes.hosts.values():
             if host.host_id in exclude_hosts:
@@ -234,7 +289,7 @@ class ElasticityEnforcer:
             bins.append(
                 HostBin(
                     host_id=host.host_id,
-                    cpu_capacity_cores=self._target_capacity(),
+                    cpu_capacity_cores=capacity,
                     memory_capacity_bytes=self.host_memory_bytes,
                     cpu_used_cores=max(
                         0.0,
@@ -258,15 +313,25 @@ class ElasticityEnforcer:
 
     # -- scale out ---------------------------------------------------------------------
 
-    def _scale_out(self, probes: ProbeSet) -> Optional[ScalingDecision]:
-        target = self.policy.target_utilization
+    def _scale_out(
+        self,
+        probes: ProbeSet,
+        kind: ViolationKind = ViolationKind.GLOBAL_OVERLOAD,
+        utilization_target: Optional[float] = None,
+    ) -> Optional[ScalingDecision]:
+        target = (
+            self.policy.target_utilization
+            if utilization_target is None
+            else utilization_target
+        )
+        capacity = target * self.host_cores
 
         # Backlog-driven demand is unbounded while queues drain; bound the
         # step so the fleet grows by at most max_scale_out_factor at once.
         current_hosts = max(1, len(probes.hosts))
         step_cap_cores = (
             math.ceil(current_hosts * self.policy.max_scale_out_factor)
-            * self._target_capacity()
+            * capacity
         )
         total_demand = sum(
             self._host_load_cores(probes, h) for h in probes.hosts.values()
@@ -305,11 +370,12 @@ class ElasticityEnforcer:
             removed_load=removed_load,
             removed_memory=removed_memory,
             load_scale=demand_scale,
+            capacity=capacity,
         )
         placement = first_fit_decreasing(
             to_move,
             bins,
-            new_host_cpu_capacity=self._target_capacity(),
+            new_host_cpu_capacity=capacity,
             new_host_memory_capacity=self.host_memory_bytes,
             allow_new_hosts=True,
         )
@@ -319,14 +385,18 @@ class ElasticityEnforcer:
         if not migrations:
             return None
         return ScalingDecision(
-            kind=ViolationKind.GLOBAL_OVERLOAD,
+            kind=kind,
             migrations=migrations,
             new_hosts=placement.new_hosts,
         )
 
     # -- scale in -----------------------------------------------------------------------
 
-    def _scale_in(self, probes: ProbeSet) -> Optional[ScalingDecision]:
+    def _scale_in(
+        self,
+        probes: ProbeSet,
+        kind: ViolationKind = ViolationKind.GLOBAL_UNDERLOAD,
+    ) -> Optional[ScalingDecision]:
         current = len(probes.hosts)
         total_load = sum(
             self._host_load_cores(probes, h) for h in probes.hosts.values()
@@ -365,7 +435,7 @@ class ElasticityEnforcer:
             if placement is None:
                 continue  # kept hosts too full: release fewer
             return ScalingDecision(
-                kind=ViolationKind.GLOBAL_UNDERLOAD,
+                kind=kind,
                 migrations=self._to_migrations(placement.assignments, origins),
                 release_hosts=release,
             )

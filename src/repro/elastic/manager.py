@@ -46,6 +46,8 @@ class ManagerRecord:
     failures: int = 0
     #: Same-host shard splits/merges actually completed.
     shard_ops: int = 0
+    #: Policy signal whose violation produced the decision.
+    signal: str = "cpu"
 
 
 class ElasticityManager:
@@ -65,20 +67,33 @@ class ElasticityManager:
 
         ``engine_hosts`` is the initial managed host set (at least one);
         the manager owns membership from here on — provisioning into and
-        releasing from ``cloud`` as the enforcer decides.  ``policy``,
-        ``enforcer`` and ``coord`` default to the paper's policy, the
-        two-step enforcer sized to the provider's host spec, and a fresh
-        coordination kernel.  ``probe_interval_s`` is the heartbeat
-        period (paper: 5 s).  The hub's telemetry bundle, when present,
-        is inherited and threaded into the collector and enforcer.
+        releasing from ``cloud`` as the enforcer decides.  ``policy``
+        defaults to the hub's configured policy group
+        (``hub.config.policy``, the ``REPRO_POLICY_*`` knobs) when the
+        hub carries one, else to the paper's policy; ``enforcer`` and
+        ``coord`` default to the two-step enforcer sized to the
+        provider's host spec and a fresh coordination kernel.
+        ``probe_interval_s`` is the heartbeat period (paper: 5 s).  The
+        hub's telemetry bundle, when present, is inherited and threaded
+        into the collector, the signal stack and the enforcer.
         """
         self.hub = hub
         self.cloud = cloud
         self.env: Environment = hub.env
-        self.policy = policy or ElasticityPolicy()
+        if policy is None:
+            policy_group = getattr(getattr(hub, "config", None), "policy", None)
+            policy = (
+                policy_group.policy()
+                if policy_group is not None
+                else ElasticityPolicy()
+            )
+        self.policy = policy
         #: Telemetry bundle inherited from the hub (``None`` when the hub
         #: runs without one); threaded into the collector and enforcer.
         self.telemetry = getattr(hub, "telemetry", None)
+        #: The stateful signal stack of this control loop; one instance
+        #: observes every probe round so sustain streaks stay honest.
+        self.signal_stack = self.policy.signal_stack(telemetry=self.telemetry)
         self.enforcer = enforcer or ElasticityEnforcer(
             self.policy,
             host_cores=cloud.spec.cores,
@@ -91,6 +106,11 @@ class ElasticityManager:
         self.engine_hosts: List[Host] = list(engine_hosts)
         if not self.engine_hosts:
             raise ValueError("need at least one initial engine host")
+        delay_tracker = (
+            getattr(hub, "delay_tracker", None)
+            if self.signal_stack.wants_delay_window
+            else None
+        )
         self.collector = ProbeCollector(
             hub.runtime,
             hub.engine_slice_ids(),
@@ -98,6 +118,8 @@ class ElasticityManager:
             cost_model=hub.config.cost_model,
             interval_s=probe_interval_s,
             telemetry=self.telemetry,
+            delay_tracker=delay_tracker,
+            delay_window_s=self.policy.slo_window_s,
         )
         self.collector.subscribe(self._on_probes)
         #: Extra probe listeners (experiment recorders).
@@ -143,12 +165,16 @@ class ElasticityManager:
             telemetry.engine_hosts.set(len(self.engine_hosts))
         for listener in list(self.probe_listeners):
             listener(probes)
+        # The stack observes *every* round — sustained-trigger signals
+        # count consecutive rounds, and evaluation never touches the
+        # engine — but decisions are only acted on outside grace periods.
+        verdict = self.signal_stack.evaluate(probes)
         if self._executing or self.in_grace_period:
             return
-        violation = self.policy.check(probes)
+        violation = verdict.winner
         if violation is None:
             return
-        decision = self.enforcer.resolve(probes, violation)
+        decision = self.enforcer.resolve(probes, violation, verdict=verdict)
         if decision is None or decision.is_empty:
             return
         self._executing = True
@@ -163,13 +189,16 @@ class ElasticityManager:
         tracer = self.telemetry.tracer if self.telemetry is not None else None
         span = None
         if tracer is not None and tracer.enabled:
-            span = tracer.start_span(
-                "enforcer.execute",
-                kind=decision.kind.value,
-                migrations=len(decision.migrations),
-                new_hosts=decision.new_hosts,
-                shard_ops=len(decision.shard_ops),
-            )
+            attrs = {
+                "kind": decision.kind.value,
+                "migrations": len(decision.migrations),
+                "new_hosts": decision.new_hosts,
+                "shard_ops": len(decision.shard_ops),
+            }
+            # CPU-driven decisions keep the historical span shape.
+            if decision.signal != "cpu":
+                attrs["signal"] = decision.signal
+            span = tracer.start_span("enforcer.execute", **attrs)
         try:
             new_hosts: Dict[str, Host] = {}
             for index in range(decision.new_hosts):
@@ -239,6 +268,7 @@ class ElasticityManager:
                     released_hosts=released,
                     failures=failures,
                     shard_ops=shard_ops_done,
+                    signal=decision.signal,
                 )
             )
         finally:

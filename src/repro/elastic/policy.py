@@ -1,7 +1,8 @@
-"""Elasticity policy: global and local rules (paper §V).
+"""Elasticity policy: pluggable signals around the paper's §V rules.
 
-The policy's primary metric is CPU utilization; network bandwidth and
-memory act only as constraints during migration decisions.
+The paper scales purely on CPU bands; this module keeps those rules
+verbatim (as :class:`~repro.elastic.signals.CpuBandSignal`) and opens the
+control loop to other overload evidence the system already measures:
 
 * **Global rule** — the *average* CPU load across running hosts must stay
   inside ``[scale_in_threshold, scale_out_threshold]`` (the paper
@@ -13,17 +14,43 @@ memory act only as constraints during migration decisions.
   violated; global rules have the highest priority.
 * A **grace period** (at least 30 s in the paper) separates consecutive
   enforcement actions, letting the system settle after migrations.
+
+Beyond the paper, :attr:`ElasticityPolicy.signals` selects a stack of
+:class:`~repro.elastic.signals.PolicySignal` evaluators — ``cpu`` (the
+rules above), ``slo`` (p99 ``notification_delay_seconds`` over a sliding
+probe window vs. a target SLO) and ``spill`` (sustained transport
+spill/starvation pressure from the flow-controlled channels).  Symptom
+signals fire *before* CPU saturates — queues spill and tail delay climbs
+while the average utilization still sits inside the band — so SLO/spill
+stacks provision earlier and (via scale-in vetoes) release later than the
+CPU-only rules.  Arbitration across signals is deterministic; see
+:class:`~repro.elastic.signals.SignalStack` and DESIGN.md §10.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field, fields
+from typing import Mapping, Optional, Sequence, Tuple
 
+from ..config import env_bool, env_float, env_int, env_str
 from .probes import ProbeSet
 
-__all__ = ["ElasticityPolicy", "Violation", "ViolationKind"]
+__all__ = [
+    "ElasticityPolicy",
+    "PolicyConfig",
+    "ScalingAction",
+    "Violation",
+    "ViolationKind",
+]
+
+
+class ScalingAction(enum.Enum):
+    """What a violation asks the enforcer to do (arbitration classes)."""
+
+    SCALE_OUT = "scale_out"
+    SCALE_IN = "scale_in"
+    REBALANCE = "rebalance"
 
 
 class ViolationKind(enum.Enum):
@@ -39,25 +66,94 @@ class ViolationKind(enum.Enum):
     GLOBAL_UNDERLOAD = "global_underload"
     #: One host above ``local_overload_threshold`` (globals all hold).
     LOCAL_OVERLOAD = "local_overload"
+    #: Windowed p99 notification delay above the configured SLO.
+    SLO_BREACH = "slo_breach"
+    #: Windowed p99 well below the SLO for several rounds (release
+    #: trigger of SLO-only stacks; see :class:`DelaySloSignal`).
+    SLO_CLEAR = "slo_clear"
+    #: Sustained transport spill/starvation pressure (DESIGN.md §9).
+    SPILL_PRESSURE = "spill_pressure"
+
+    @property
+    def action(self) -> ScalingAction:
+        """The enforcer action class this kind maps to."""
+        return _KIND_ACTIONS[self]
+
+
+_KIND_ACTIONS = {
+    ViolationKind.GLOBAL_OVERLOAD: ScalingAction.SCALE_OUT,
+    ViolationKind.GLOBAL_UNDERLOAD: ScalingAction.SCALE_IN,
+    ViolationKind.LOCAL_OVERLOAD: ScalingAction.REBALANCE,
+    ViolationKind.SLO_BREACH: ScalingAction.SCALE_OUT,
+    ViolationKind.SLO_CLEAR: ScalingAction.SCALE_IN,
+    ViolationKind.SPILL_PRESSURE: ScalingAction.SCALE_OUT,
+}
+
+#: Kinds whose scale-out is symptom-triggered (queues/delay, not CPU
+#: bands): the enforcer packs toward a reduced utilization target so the
+#: decision provisions headroom before CPU evidence exists.
+SYMPTOM_KINDS = frozenset(
+    {ViolationKind.SLO_BREACH, ViolationKind.SPILL_PRESSURE}
+)
 
 
 @dataclass(frozen=True)
 class Violation:
-    """A detected policy violation, with the metric that triggered it."""
+    """A detected policy violation, with the evidence that triggered it.
+
+    ``Violation(kind, measured, host_id)`` — the historical shape — stays
+    constructible and readable: ``measured`` remains the headline scalar
+    (average or single-host CPU for the band rules, windowed p99 seconds
+    for the SLO, spill depth for spill pressure).  Signal-produced
+    violations additionally carry the producing signal's name and a typed
+    evidence record (see :mod:`repro.elastic.signals`); both default to
+    the CPU band signal so pre-signal call sites and trace records are
+    unchanged.
+    """
 
     #: Which rule fired.
     kind: ViolationKind
-    #: The violating measurement — average (global rules) or single-host
-    #: (local rule) CPU utilization, in [0, 1].
+    #: The violating headline measurement (see class docstring).
     measured: float
     #: The violating host for :attr:`ViolationKind.LOCAL_OVERLOAD`;
     #: empty for global rules.
     host_id: str = ""
+    #: Name of the policy signal that produced the violation.
+    signal: str = "cpu"
+    #: Typed evidence record (``None`` for shim-constructed violations).
+    evidence: Optional[object] = None
+
+    @classmethod
+    def from_evidence(
+        cls, kind: ViolationKind, evidence, signal: str, host_id: str = ""
+    ) -> "Violation":
+        """Build the evidence-carrying form; ``measured`` is derived."""
+        return cls(
+            kind,
+            evidence.headline,
+            host_id=host_id,
+            signal=signal,
+            evidence=evidence,
+        )
+
+    def evidence_attrs(self) -> Mapping[str, object]:
+        """The evidence as flat trace attributes (empty for the shim)."""
+        if self.evidence is None:
+            return {}
+        return self.evidence.attrs()
+
+
+def _normalize_signals(value) -> Tuple[str, ...]:
+    """Accept ``"cpu,slo"``, lists or tuples; always store a tuple."""
+    if isinstance(value, str):
+        parts = [part.strip() for part in value.split(",")]
+        return tuple(part for part in parts if part)
+    return tuple(value)
 
 
 @dataclass(frozen=True)
 class ElasticityPolicy:
-    """Thresholds of the global/local rules."""
+    """Thresholds of the policy signals (paper §V plus SLO/spill)."""
 
     #: Utilization the enforcer packs hosts toward (the paper's 50%).
     target_utilization: float = 0.50
@@ -84,8 +180,47 @@ class ElasticityPolicy:
     #: arbitrarily large while a backlog is draining; unbounded steps
     #: would exhaust the provider).
     max_scale_out_factor: float = 4.0
+    #: Enabled policy signals, in stack (arbitration) order.  ``cpu`` is
+    #: the paper's global/local band rules; ``slo`` triggers on windowed
+    #: p99 notification delay; ``spill`` on sustained transport
+    #: spill/starvation pressure.  The default reproduces the paper.
+    signals: Tuple[str, ...] = ("cpu",)
+    #: Target p99 notification delay (seconds) of the ``slo`` signal.
+    slo_p99_s: float = 1.0
+    #: Sliding window (seconds) the p99 is computed over.
+    slo_window_s: float = 30.0
+    #: Minimum delay samples in the window before the SLO signal speaks.
+    slo_min_samples: int = 20
+    #: Consecutive breached probe rounds before :attr:`SLO_BREACH` fires.
+    slo_sustain_rounds: int = 1
+    #: Scale-in is vetoed while the windowed p99 exceeds this fraction of
+    #: the SLO — the "release later" half of SLO-driven elasticity.
+    slo_release_fraction: float = 0.5
+    #: A veto can suppress at most this many *consecutive* scale-in
+    #: requests before it expires (0 = never expires).  A larger fleet
+    #: pays more per-hop flush epochs, so its quiescent p99 can sit above
+    #: the release floor forever; the expiry turns an unachievable floor
+    #: into a bounded release delay instead of a deadlock at max fleet.
+    slo_veto_max_rounds: int = 12
+    #: Spilled messages (summed over slices) that count as pressure.
+    spill_depth_limit: int = 50
+    #: Credit-starved channels (summed over slices) that count as pressure.
+    spill_starved_limit: int = 1
+    #: Consecutive pressured rounds before :attr:`SPILL_PRESSURE` fires.
+    spill_sustain_rounds: int = 2
+    #: Calm probe rounds the spill signal tolerates before its sustain
+    #: streak resets and its scale-in veto lifts.  Spill pressure is
+    #: bursty round-to-round (queues drain between flush epochs); the
+    #: hold keeps one quiet heartbeat from hiding sustained pressure.
+    spill_hold_rounds: int = 3
+    #: Symptom-triggered scale-outs pack toward
+    #: ``target_utilization * symptom_target_fraction`` — a reduced target
+    #: that lets the two-step algorithm select and place slices before any
+    #: host crosses the CPU band (provisioning headroom early).
+    symptom_target_fraction: float = 0.75
 
     def __post_init__(self):
+        object.__setattr__(self, "signals", _normalize_signals(self.signals))
         if not (
             0.0
             < self.scale_in_threshold
@@ -106,26 +241,254 @@ class ElasticityPolicy:
             raise ValueError("min_hosts must be at least 1")
         if self.max_scale_out_factor <= 1.0:
             raise ValueError("max_scale_out_factor must exceed 1")
+        from .signals import SIGNAL_NAMES
+
+        if not self.signals:
+            raise ValueError("at least one policy signal must be enabled")
+        for name in self.signals:
+            if name not in SIGNAL_NAMES:
+                raise ValueError(
+                    f"unknown policy signal {name!r}; "
+                    f"choose from {tuple(SIGNAL_NAMES)}"
+                )
+        if len(set(self.signals)) != len(self.signals):
+            raise ValueError(f"duplicate policy signal in {self.signals}")
+        if self.slo_p99_s <= 0:
+            raise ValueError(f"slo_p99_s must be positive, got {self.slo_p99_s}")
+        if self.slo_window_s <= 0:
+            raise ValueError(f"slo_window_s must be positive, got {self.slo_window_s}")
+        if self.slo_min_samples < 1:
+            raise ValueError(
+                f"slo_min_samples must be >= 1, got {self.slo_min_samples}"
+            )
+        if self.slo_sustain_rounds < 1:
+            raise ValueError(
+                f"slo_sustain_rounds must be >= 1, got {self.slo_sustain_rounds}"
+            )
+        if not 0.0 <= self.slo_release_fraction <= 1.0:
+            raise ValueError(
+                "slo_release_fraction must be in [0, 1], got "
+                f"{self.slo_release_fraction}"
+            )
+        if self.slo_veto_max_rounds < 0:
+            raise ValueError(
+                "slo_veto_max_rounds must be >= 0 (0 disables expiry), got "
+                f"{self.slo_veto_max_rounds}"
+            )
+        if self.spill_depth_limit < 1:
+            raise ValueError(
+                f"spill_depth_limit must be >= 1, got {self.spill_depth_limit}"
+            )
+        if self.spill_starved_limit < 1:
+            raise ValueError(
+                f"spill_starved_limit must be >= 1, got {self.spill_starved_limit}"
+            )
+        if self.spill_sustain_rounds < 1:
+            raise ValueError(
+                f"spill_sustain_rounds must be >= 1, got {self.spill_sustain_rounds}"
+            )
+        if self.spill_hold_rounds < 0:
+            raise ValueError(
+                f"spill_hold_rounds must be >= 0, got {self.spill_hold_rounds}"
+            )
+        if not 0.0 < self.symptom_target_fraction <= 1.0:
+            raise ValueError(
+                "symptom_target_fraction must be in (0, 1], got "
+                f"{self.symptom_target_fraction}"
+            )
+
+    @property
+    def wants_delay_window(self) -> bool:
+        """Whether the probe collector must aggregate a delay window."""
+        return "slo" in self.signals
+
+    def signal_stack(self, telemetry=None):
+        """A fresh (stateful) :class:`~repro.elastic.signals.SignalStack`.
+
+        Sustained-trigger signals count consecutive probe rounds, so one
+        stack instance must observe every round of one control loop — the
+        manager builds exactly one at construction.
+        """
+        from .signals import SignalStack
+
+        return SignalStack(self, telemetry=telemetry)
 
     def check(self, probes: ProbeSet) -> Optional[Violation]:
-        """Highest-priority violation in this probe round, if any.
+        """Highest-priority *CPU band* violation in this probe round.
 
-        Global rules outrank the local rule (paper §V); returns ``None``
-        when all rules hold or no hosts reported.
+        The paper's §V rules, verbatim: global rules outrank the local
+        rule; returns ``None`` when all rules hold or no hosts reported.
+        This is the historical single-signal entry point — stacks with
+        SLO/spill signals are evaluated through :meth:`signal_stack`.
         """
-        if not probes.hosts:
-            return None
-        average = probes.average_utilization()
-        if average > self.scale_out_threshold:
-            return Violation(ViolationKind.GLOBAL_OVERLOAD, average)
-        if average < self.scale_in_threshold and len(probes.hosts) > self.min_hosts:
-            return Violation(ViolationKind.GLOBAL_UNDERLOAD, average)
-        # Local rules only when no global rule is violated.
-        worst_host = max(probes.hosts.values(), key=lambda h: h.cpu_utilization)
-        if worst_host.cpu_utilization > self.local_overload_threshold:
-            return Violation(
-                ViolationKind.LOCAL_OVERLOAD,
-                worst_host.cpu_utilization,
-                host_id=worst_host.host_id,
-            )
-        return None
+        from .signals import CpuBandSignal
+
+        found = CpuBandSignal(self).evaluate(probes)
+        return found[0] if found else None
+
+
+#: ``PolicyConfig`` field → environment variable, in display order.
+_POLICY_ENV_VARS = {
+    "signals": "REPRO_POLICY_SIGNALS",
+    "target_utilization": "REPRO_POLICY_TARGET_UTILIZATION",
+    "scale_out_threshold": "REPRO_POLICY_SCALE_OUT_THRESHOLD",
+    "scale_in_threshold": "REPRO_POLICY_SCALE_IN_THRESHOLD",
+    "local_overload_threshold": "REPRO_POLICY_LOCAL_OVERLOAD_THRESHOLD",
+    "grace_period_s": "REPRO_POLICY_GRACE_PERIOD_S",
+    "min_hosts": "REPRO_POLICY_MIN_HOSTS",
+    "backlog_aware_scaling": "REPRO_POLICY_BACKLOG_AWARE",
+    "max_scale_out_factor": "REPRO_POLICY_MAX_SCALE_OUT_FACTOR",
+    "slo_p99_s": "REPRO_POLICY_SLO_P99_S",
+    "slo_window_s": "REPRO_POLICY_SLO_WINDOW_S",
+    "slo_min_samples": "REPRO_POLICY_SLO_MIN_SAMPLES",
+    "slo_sustain_rounds": "REPRO_POLICY_SLO_SUSTAIN_ROUNDS",
+    "slo_release_fraction": "REPRO_POLICY_SLO_RELEASE_FRACTION",
+    "slo_veto_max_rounds": "REPRO_POLICY_SLO_VETO_MAX_ROUNDS",
+    "spill_depth_limit": "REPRO_POLICY_SPILL_DEPTH_LIMIT",
+    "spill_starved_limit": "REPRO_POLICY_SPILL_STARVED_LIMIT",
+    "spill_sustain_rounds": "REPRO_POLICY_SPILL_SUSTAIN_ROUNDS",
+    "spill_hold_rounds": "REPRO_POLICY_SPILL_HOLD_ROUNDS",
+    "symptom_target_fraction": "REPRO_POLICY_SYMPTOM_TARGET_FRACTION",
+}
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """The elasticity-policy knob group (``REPRO_POLICY_*``).
+
+    One of :class:`~repro.pubsub.HubConfig`'s grouped sub-configs.  The
+    precedence is defined here, once: an explicit constructor argument
+    (CLI flags resolve to these via :meth:`from_env` overrides) beats the
+    environment variable, which beats the built-in default.  Field names
+    and defaults mirror :class:`ElasticityPolicy`; :meth:`policy` builds
+    the validated policy object.
+    """
+
+    signals: Tuple[str, ...] = ("cpu",)
+    target_utilization: float = 0.50
+    scale_out_threshold: float = 0.70
+    scale_in_threshold: float = 0.30
+    local_overload_threshold: float = 0.85
+    grace_period_s: float = 30.0
+    min_hosts: int = 1
+    backlog_aware_scaling: bool = True
+    max_scale_out_factor: float = 4.0
+    slo_p99_s: float = 1.0
+    slo_window_s: float = 30.0
+    slo_min_samples: int = 20
+    slo_sustain_rounds: int = 1
+    slo_release_fraction: float = 0.5
+    slo_veto_max_rounds: int = 12
+    spill_depth_limit: int = 50
+    spill_starved_limit: int = 1
+    spill_sustain_rounds: int = 2
+    spill_hold_rounds: int = 3
+    symptom_target_fraction: float = 0.75
+
+    def __post_init__(self):
+        object.__setattr__(self, "signals", _normalize_signals(self.signals))
+        self.policy()  # validate every knob through the policy rules
+
+    def policy(self) -> ElasticityPolicy:
+        """The :class:`ElasticityPolicy` these knobs configure."""
+        return ElasticityPolicy(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    @classmethod
+    def from_env(cls, **overrides) -> "PolicyConfig":
+        """Build from ``REPRO_POLICY_*`` with explicit ``overrides`` on top.
+
+        ``overrides`` with value ``None`` are ignored (unset CLI flags),
+        so callers can forward an argparse namespace verbatim.
+        """
+        values = {
+            "signals": env_str(_POLICY_ENV_VARS["signals"], "cpu"),
+            "target_utilization": env_float(
+                _POLICY_ENV_VARS["target_utilization"], cls.target_utilization
+            ),
+            "scale_out_threshold": env_float(
+                _POLICY_ENV_VARS["scale_out_threshold"], cls.scale_out_threshold
+            ),
+            "scale_in_threshold": env_float(
+                _POLICY_ENV_VARS["scale_in_threshold"], cls.scale_in_threshold
+            ),
+            "local_overload_threshold": env_float(
+                _POLICY_ENV_VARS["local_overload_threshold"],
+                cls.local_overload_threshold,
+            ),
+            "grace_period_s": env_float(
+                _POLICY_ENV_VARS["grace_period_s"], cls.grace_period_s
+            ),
+            "min_hosts": env_int(_POLICY_ENV_VARS["min_hosts"], cls.min_hosts),
+            "backlog_aware_scaling": env_bool(
+                _POLICY_ENV_VARS["backlog_aware_scaling"],
+                cls.backlog_aware_scaling,
+            ),
+            "max_scale_out_factor": env_float(
+                _POLICY_ENV_VARS["max_scale_out_factor"], cls.max_scale_out_factor
+            ),
+            "slo_p99_s": env_float(_POLICY_ENV_VARS["slo_p99_s"], cls.slo_p99_s),
+            "slo_window_s": env_float(
+                _POLICY_ENV_VARS["slo_window_s"], cls.slo_window_s
+            ),
+            "slo_min_samples": env_int(
+                _POLICY_ENV_VARS["slo_min_samples"], cls.slo_min_samples
+            ),
+            "slo_sustain_rounds": env_int(
+                _POLICY_ENV_VARS["slo_sustain_rounds"], cls.slo_sustain_rounds
+            ),
+            "slo_release_fraction": env_float(
+                _POLICY_ENV_VARS["slo_release_fraction"], cls.slo_release_fraction
+            ),
+            "slo_veto_max_rounds": env_int(
+                _POLICY_ENV_VARS["slo_veto_max_rounds"], cls.slo_veto_max_rounds
+            ),
+            "spill_depth_limit": env_int(
+                _POLICY_ENV_VARS["spill_depth_limit"], cls.spill_depth_limit
+            ),
+            "spill_starved_limit": env_int(
+                _POLICY_ENV_VARS["spill_starved_limit"], cls.spill_starved_limit
+            ),
+            "spill_sustain_rounds": env_int(
+                _POLICY_ENV_VARS["spill_sustain_rounds"], cls.spill_sustain_rounds
+            ),
+            "spill_hold_rounds": env_int(
+                _POLICY_ENV_VARS["spill_hold_rounds"], cls.spill_hold_rounds
+            ),
+            "symptom_target_fraction": env_float(
+                _POLICY_ENV_VARS["symptom_target_fraction"],
+                cls.symptom_target_fraction,
+            ),
+        }
+        for name, value in overrides.items():
+            if name not in values:
+                raise TypeError(f"unknown policy knob {name!r}")
+            if value is not None:
+                values[name] = value
+        return cls(**values)
+
+    @classmethod
+    def provenance(cls, **overrides) -> Sequence[Tuple[str, object, str]]:
+        """(knob, resolved value, source) rows for every policy knob.
+
+        The source is ``cli`` for a non-``None`` override, ``env:<VAR>``
+        for a set environment variable, else ``default`` — the record the
+        ``repro policy`` subcommand prints.
+        """
+        import os
+
+        resolved = cls.from_env(**overrides)
+        rows = []
+        for name, env_var in _POLICY_ENV_VARS.items():
+            if overrides.get(name) is not None:
+                source = "cli"
+            elif (os.environ.get(env_var) or "").strip():
+                source = f"env:{env_var}"
+            else:
+                source = "default"
+            value = getattr(resolved, name)
+            if name == "signals":
+                value = ",".join(value)
+            rows.append((name, value, source))
+        return rows

@@ -9,14 +9,23 @@ engine's slice statistics at a fixed heartbeat interval.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..cluster import Host
 from ..engine import EngineRuntime
 from ..filtering import CostModel
+from ..metrics import percentile
 
-__all__ = ["SliceProbe", "HostProbe", "ProbeSet", "ProbeCollector"]
+__all__ = [
+    "SliceProbe",
+    "HostProbe",
+    "DelayWindow",
+    "DelayWindowAggregator",
+    "ProbeSet",
+    "ProbeCollector",
+]
 
 
 @dataclass(frozen=True)
@@ -82,6 +91,63 @@ class HostProbe:
 
 
 @dataclass(frozen=True)
+class DelayWindow:
+    """Notification-delay summary over the trailing probe window.
+
+    Attached to a :class:`ProbeSet` when the collector was given a delay
+    tracker (the ``slo`` policy signal requires it); ``None`` otherwise.
+    """
+
+    #: Width of the sliding window (seconds).
+    window_s: float
+    #: Delay samples delivered inside the window.
+    count: int
+    p50_s: float
+    p99_s: float
+    max_s: float
+
+
+class DelayWindowAggregator:
+    """Sliding p50/p99 over a :class:`~repro.metrics.DelayTracker`.
+
+    Consumes the tracker's append-only sample list incrementally (an
+    index, never a rescan), keeps only samples delivered within the
+    trailing ``window_s``, and summarizes on demand.  Purely an observer:
+    it never mutates the tracker.
+    """
+
+    def __init__(self, tracker, window_s: float):
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.tracker = tracker
+        self.window_s = window_s
+        self._next_index = 0
+        self._window = deque()  # (delivered_at, delay) pairs, in order
+
+    def window_at(self, now: float) -> Optional[DelayWindow]:
+        """The delay window as of ``now`` (``None`` when it is empty)."""
+        samples = self.tracker.samples
+        while self._next_index < len(samples):
+            sample = samples[self._next_index]
+            self._next_index += 1
+            self._window.append((sample.delivered_at, sample.delay))
+        horizon = now - self.window_s
+        window = self._window
+        while window and window[0][0] < horizon:
+            window.popleft()
+        if not window:
+            return None
+        delays = sorted(delay for _, delay in window)
+        return DelayWindow(
+            window_s=self.window_s,
+            count=len(delays),
+            p50_s=percentile(delays, 0.50),
+            p99_s=percentile(delays, 0.99),
+            max_s=delays[-1],
+        )
+
+
+@dataclass(frozen=True)
 class ProbeSet:
     """One complete heartbeat round: all hosts, all slices."""
 
@@ -89,6 +155,9 @@ class ProbeSet:
     window_s: float
     hosts: Dict[str, HostProbe]
     slices: Dict[str, SliceProbe]
+    #: Trailing notification-delay window, when the collector aggregates
+    #: one (see :class:`DelayWindowAggregator`); ``None`` otherwise.
+    delay: Optional[DelayWindow] = None
 
     def average_utilization(self) -> float:
         """Average CPU load across hosts (the global-rule metric)."""
@@ -115,10 +184,15 @@ class ProbeCollector:
         cost_model: Optional[CostModel] = None,
         interval_s: float = 5.0,
         telemetry=None,
+        delay_tracker=None,
+        delay_window_s: float = 30.0,
     ):
         """``telemetry`` is an optional :class:`repro.telemetry.Telemetry`
         bundle; each heartbeat then also refreshes the per-slice/per-host
-        gauges and bumps ``heartbeats_total`` (see OBSERVABILITY.md)."""
+        gauges and bumps ``heartbeats_total`` (see OBSERVABILITY.md).
+        ``delay_tracker`` is an optional :class:`~repro.metrics.DelayTracker`;
+        probe sets then carry a :class:`DelayWindow` over the trailing
+        ``delay_window_s`` seconds (required by the ``slo`` policy signal)."""
         if interval_s <= 0:
             raise ValueError("interval must be positive")
         self.runtime = runtime
@@ -128,6 +202,11 @@ class ProbeCollector:
         self.cost_model = cost_model or CostModel()
         self.interval_s = interval_s
         self.telemetry = telemetry
+        self.delay_aggregator = (
+            DelayWindowAggregator(delay_tracker, delay_window_s)
+            if delay_tracker is not None
+            else None
+        )
         self.subscribers: List[Callable[[ProbeSet], None]] = []
         self._cpu_snapshots: Dict[str, object] = {}
         self._net_snapshots: Dict[str, object] = {}
@@ -203,8 +282,17 @@ class ProbeCollector:
                     self.runtime._active(slice_id)
                 ),
             )
+        delay = (
+            self.delay_aggregator.window_at(self.env.now)
+            if self.delay_aggregator is not None
+            else None
+        )
         probe_set = ProbeSet(
-            time=self.env.now, window_s=self.interval_s, hosts=hosts, slices=slices
+            time=self.env.now,
+            window_s=self.interval_s,
+            hosts=hosts,
+            slices=slices,
+            delay=delay,
         )
         telemetry = self.telemetry
         if telemetry is not None and telemetry.heartbeats is not None:

@@ -17,7 +17,7 @@ little time to converge; 0.25–1.0 preserves the dynamics).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from ..coord import CoordinationKernel
@@ -48,6 +48,9 @@ class ElasticRunResult:
     decisions: List[ManagerRecord]
     published: int
     notified: int
+    #: (delivered_at, delay) of every notified publication — the raw
+    #: samples behind :attr:`delay_windows`, kept for percentile queries.
+    delay_samples: List[Tuple[float, float]] = field(default_factory=list)
 
     @property
     def max_hosts(self) -> int:
@@ -56,6 +59,44 @@ class ElasticRunResult:
     @property
     def final_hosts(self) -> int:
         return self.host_series[-1][1] if self.host_series else 0
+
+    @property
+    def first_scale_out_s(self) -> Optional[float]:
+        """Time the first scale-out decision finished executing."""
+        for record in self.decisions:
+            if record.new_hosts > 0:
+                return record.time
+        return None
+
+    def time_to_hosts(self, count: int) -> Optional[float]:
+        """First probe time at least ``count`` hosts were running.
+
+        The provisioning-lead-time metric of the signal ablation: a
+        policy that reaches the reference fleet size earlier provisioned
+        sooner under the same offered load.
+        """
+        for t, hosts in self.host_series:
+            if hosts >= count:
+                return t
+        return None
+
+    def host_seconds(self) -> float:
+        """Integral of the host count over probe time (cost proxy)."""
+        total = 0.0
+        for (t0, hosts), (t1, _) in zip(self.host_series, self.host_series[1:]):
+            total += hosts * (t1 - t0)
+        return total
+
+    def delay_p99_s(self, since: float = 0.0) -> Optional[float]:
+        """p99 of all notification delays delivered after ``since``."""
+        from ..metrics import percentile
+
+        values = sorted(
+            delay for t, delay in self.delay_samples if t >= since
+        )
+        if not values:
+            return None
+        return percentile(values, 0.99)
 
     def utilization_envelope(self, since: float = 0.0, until: float = float("inf"),
                              min_hosts: int = 2) -> Tuple[float, float, float]:
@@ -144,6 +185,10 @@ def run_elastic(
         decisions=list(manager.history),
         published=deployment.hub.published_count,
         notified=deployment.hub.notified_publications,
+        delay_samples=[
+            (sample.delivered_at, sample.delay)
+            for sample in deployment.hub.delay_tracker.samples
+        ],
     )
 
 

@@ -32,6 +32,7 @@ from .executor import (
     resolve_backend,
     shared_executor,
 )
+from .config import MatchConfig
 from .rendezvous import CompletionRendezvous
 from .snapshot import PackedSnapshot, encode_batch, match_span_range
 
@@ -40,6 +41,7 @@ __all__ = [
     "CompletionRendezvous",
     "InlineMatchExecutor",
     "MatchChannel",
+    "MatchConfig",
     "MatchExecutor",
     "MatchFuture",
     "PackedSnapshot",

@@ -1,0 +1,56 @@
+"""The parallel-matching knob group (``REPRO_MATCH_*``).
+
+One of :class:`~repro.pubsub.HubConfig`'s grouped sub-configs: workers,
+execution backend and chunking of the worker-pool ``match_batch`` path.
+Validation messages intentionally name the historical flat knobs
+(``match_workers`` etc.) — the flat ``HubConfig`` fields remain as
+backward-compatible aliases of this group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import env_int, env_str
+
+__all__ = ["MatchConfig"]
+
+
+@dataclass(frozen=True)
+class MatchConfig:
+    """Validated parallel-matching configuration."""
+
+    #: Worker processes for parallel matching execution (0 = inline).
+    workers: int = 0
+    #: Execution backend: ``auto`` (shm where available, else pool),
+    #: ``shm``, ``pool`` or ``inline``.
+    backend: str = "auto"
+    #: Minimum packed-matrix rows per worker chunk.
+    chunk_rows: int = 4096
+
+    def __post_init__(self):
+        if self.workers < 0:
+            raise ValueError(
+                f"match_workers must be >= 0 (0 disables parallel matching), "
+                f"got {self.workers}"
+            )
+        if self.chunk_rows < 1:
+            raise ValueError(
+                f"match_chunk_rows must be >= 1, got {self.chunk_rows}"
+            )
+        from . import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"match_backend must be one of {BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+
+    @classmethod
+    def from_env(cls) -> "MatchConfig":
+        """Build from ``REPRO_MATCH_*`` (unset keeps the defaults)."""
+        return cls(
+            workers=env_int("REPRO_MATCH_WORKERS", 0),
+            backend=env_str("REPRO_MATCH_BACKEND", "auto"),
+            chunk_rows=env_int("REPRO_MATCH_CHUNK_ROWS", 4096),
+        )

@@ -60,6 +60,16 @@ class HubConfig:
     Defaults mirror the paper's evaluation setup: 8 AP, 16 M and 8 EP
     slices (§VI-A), encrypted (ASPE-cost) filtering, slice thread pools
     sized to the 8-core hosts.
+
+    Knobs are organized into grouped sub-configs — :attr:`match`
+    (``REPRO_MATCH_*``), :attr:`store` (``REPRO_STORE_*``), :attr:`net`
+    (``REPRO_NET_*``) and :attr:`policy` (``REPRO_POLICY_*``) — each
+    defining its env/constructor precedence in one place.  The historical
+    flat fields (``match_workers``, ``store_backend``, ``net_flush_mode``,
+    …) remain as backward-compatible aliases: pass either form; an
+    explicitly passed group wins over flat kwargs, and after construction
+    the flat fields always mirror the resolved group.  The flat spellings
+    are **deprecated** for new code — prefer the groups.
     """
 
     ap_slices: int = 8
@@ -160,6 +170,19 @@ class HubConfig:
     net_credit_window: int = field(
         default_factory=lambda: _env_transport_config().credit_window
     )
+    #: Parallel-matching knob group; built from the flat ``match_*``
+    #: fields (and thus ``REPRO_MATCH_*``) when not passed explicitly.
+    match: Optional["MatchConfig"] = None
+    #: Packed-row store knob group; built from the flat ``store_*``
+    #: fields (``REPRO_STORE_*``) when not passed explicitly.
+    store: Optional[StoreConfig] = None
+    #: Transport knob group; built from the flat ``net_*`` fields
+    #: (``REPRO_NET_*``) when not passed explicitly.
+    net: Optional[TransportConfig] = None
+    #: Elasticity-policy knob group (``REPRO_POLICY_*``); the default
+    #: policy of managers driving this hub.  Has no flat aliases — it is
+    #: new with the signal-driven policy API.
+    policy: Optional["PolicyConfig"] = None
 
     def __post_init__(self):
         if min(self.ap_slices, self.m_slices, self.ep_slices, self.sink_slices) <= 0:
@@ -170,44 +193,66 @@ class HubConfig:
             raise ValueError("ap_batch_limit must be positive")
         if self.ep_batch_limit <= 0:
             raise ValueError("ep_batch_limit must be positive")
-        if self.match_workers < 0:
-            raise ValueError(
-                f"match_workers must be >= 0 (0 disables parallel matching), "
-                f"got {self.match_workers}"
-            )
-        if self.match_chunk_rows < 1:
-            raise ValueError(
-                f"match_chunk_rows must be >= 1, got {self.match_chunk_rows}"
-            )
-        from ..parallel import BACKENDS
+        from ..elastic.policy import PolicyConfig
+        from ..parallel.config import MatchConfig
 
-        if self.match_backend not in BACKENDS:
-            raise ValueError(
-                f"match_backend must be one of {BACKENDS}, "
-                f"got {self.match_backend!r}"
+        # Fold groups and flat aliases together: an explicit group wins
+        # and is mirrored back into the flat fields; otherwise the group
+        # is built (and validated) from the flat values.
+        if self.match is None:
+            self.match = MatchConfig(
+                workers=self.match_workers,
+                backend=self.match_backend,
+                chunk_rows=self.match_chunk_rows,
             )
-        self.store_config()  # validate the store knobs early
-        self.transport_config()  # ... and the transport knobs
+        else:
+            self.match_workers = self.match.workers
+            self.match_backend = self.match.backend
+            self.match_chunk_rows = self.match.chunk_rows
+        if self.store is None:
+            self.store = StoreConfig(
+                backend=self.store_backend,
+                chunk_rows=self.store_chunk_rows,
+                memory_budget_mb=self.store_memory_budget_mb,
+                compact_dead_ratio=self.store_compact_dead_ratio,
+                spill_dir=self.store_spill_dir,
+            )
+        else:
+            self.store_backend = self.store.backend
+            self.store_chunk_rows = self.store.chunk_rows
+            self.store_memory_budget_mb = self.store.memory_budget_mb
+            self.store_compact_dead_ratio = self.store.compact_dead_ratio
+            self.store_spill_dir = self.store.spill_dir
+        if self.net is None:
+            self.net = TransportConfig(
+                flush_mode=self.net_flush_mode,
+                flush_s=self.net_flush_s,
+                flush_max_batch=self.net_flush_max_batch,
+                backpressure=self.net_backpressure,
+                credit_window=self.net_credit_window,
+            )
+        else:
+            self.net_flush_mode = self.net.flush_mode
+            self.net_flush_s = self.net.flush_s
+            self.net_flush_max_batch = self.net.flush_max_batch
+            self.net_backpressure = self.net.backpressure
+            self.net_credit_window = self.net.credit_window
+        if self.policy is None:
+            self.policy = PolicyConfig.from_env()
 
     def transport_config(self) -> TransportConfig:
-        """The flow-control configuration of the event-plane transport."""
-        return TransportConfig(
-            flush_mode=self.net_flush_mode,
-            flush_s=self.net_flush_s,
-            flush_max_batch=self.net_flush_max_batch,
-            backpressure=self.net_backpressure,
-            credit_window=self.net_credit_window,
-        )
+        """The flow-control configuration of the event-plane transport.
+
+        Deprecated alias: identical to reading :attr:`net` directly.
+        """
+        return self.net
 
     def store_config(self) -> StoreConfig:
-        """The packed-row store configuration for exact M-slice libraries."""
-        return StoreConfig(
-            backend=self.store_backend,
-            chunk_rows=self.store_chunk_rows,
-            memory_budget_mb=self.store_memory_budget_mb,
-            compact_dead_ratio=self.store_compact_dead_ratio,
-            spill_dir=self.store_spill_dir,
-        )
+        """The packed-row store configuration for exact M-slice libraries.
+
+        Deprecated alias: identical to reading :attr:`store` directly.
+        """
+        return self.store
 
     @classmethod
     def sampled(cls, matching_rate: float = 0.01, **kwargs) -> "HubConfig":

@@ -149,6 +149,9 @@ class Telemetry:
             self.migration_interruption = None
             self.rule_firings = None
             self.scaling_decisions = None
+            self.signal_violations = None
+            self.scale_in_vetoes = None
+            self.slo_margin = None
             self.heartbeats = None
             self.engine_hosts = None
             self.slice_queue_depth = None
@@ -301,6 +304,23 @@ class Telemetry:
             "enforcer_decisions_total",
             "Non-empty scaling decisions produced by the enforcer",
             labels=("kind",),
+        )
+        self.signal_violations = m.counter(
+            "policy_signal_violations_total",
+            "Violations raised by policy signals, including rounds lost "
+            "in arbitration or spent inside a grace period",
+            labels=("signal", "kind"),
+        )
+        self.scale_in_vetoes = m.counter(
+            "policy_scale_in_vetoes_total",
+            "Scale-in requests suppressed by a vetoing signal",
+            labels=("signal",),
+        )
+        self.slo_margin = m.gauge(
+            "policy_slo_margin_seconds",
+            "Target SLO minus the windowed p99 notification delay "
+            "(negative while the SLO is breached)",
+            unit="seconds",
         )
         self.heartbeats = m.counter(
             "heartbeats_total", "Probe rounds collected by the manager"

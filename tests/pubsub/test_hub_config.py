@@ -104,6 +104,59 @@ def test_zero_workers_without_injection_has_no_executor(monkeypatch):
     assert h.hub.match_executor is None
 
 
+def test_grouped_configs_mirror_into_flat_aliases():
+    from repro.elastic import PolicyConfig
+    from repro.parallel import MatchConfig
+    from repro.filtering.store import StoreConfig
+    from repro.transport import NetConfig
+
+    config = small_exact_config(
+        match=MatchConfig(workers=2, backend="pool", chunk_rows=64),
+        store=StoreConfig(backend="mmap", chunk_rows=128),
+        net=NetConfig(flush_mode="adaptive", backpressure=True),
+        policy=PolicyConfig(signals=("cpu", "slo")),
+    )
+    assert (config.match_workers, config.match_backend) == (2, "pool")
+    assert config.match_chunk_rows == 64
+    assert (config.store_backend, config.store_chunk_rows) == ("mmap", 128)
+    assert config.net_flush_mode == "adaptive"
+    assert config.net_backpressure is True
+    assert config.policy.signals == ("cpu", "slo")
+
+
+def test_flat_fields_build_the_groups_when_no_group_is_given():
+    config = small_exact_config(
+        match_workers=3, store_backend="mmap", net_backpressure=True
+    )
+    assert config.match.workers == 3
+    assert config.store.backend == "mmap"
+    assert config.net.backpressure is True
+    assert config.policy is not None
+
+
+def test_explicit_group_wins_over_flat_fields():
+    from repro.parallel import MatchConfig
+
+    config = small_exact_config(
+        match=MatchConfig(workers=4), match_workers=1
+    )
+    assert config.match_workers == 4
+
+
+def test_deprecated_config_accessors_return_the_groups():
+    config = small_exact_config()
+    assert config.store_config() is config.store
+    assert config.transport_config() is config.net
+
+
+def test_policy_group_defaults_from_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_POLICY_SIGNALS", "cpu,spill")
+    monkeypatch.setenv("REPRO_POLICY_SPILL_DEPTH_LIMIT", "75")
+    config = small_exact_config()
+    assert config.policy.signals == ("cpu", "spill")
+    assert config.policy.spill_depth_limit == 75
+
+
 def test_deploy_all_on_places_engine_and_sink_separately():
     h = HubHarness(small_exact_config(), engine_hosts=2)
     placement = h.hub.runtime.placement()

@@ -8,7 +8,7 @@ from repro.cli import build_parser, main
 def test_parser_knows_all_commands():
     parser = build_parser()
     for command in ["figure1", "figure6", "table1", "figure7", "figure8",
-                    "figure9", "ablations", "trace", "metrics"]:
+                    "figure9", "ablations", "trace", "metrics", "policy"]:
         args = parser.parse_args([command])
         assert args.command == command
 
@@ -75,6 +75,47 @@ def test_trace_command_without_migration(capsys, tmp_path):
     printed = capsys.readouterr().out
     assert "phase sum" not in printed
     assert out.exists()
+
+
+def test_figure8_policy_flags_resolve_to_a_policy():
+    from repro.cli import _policy_from_args
+
+    args = build_parser().parse_args(
+        ["figure8", "--signals", "cpu,slo", "--slo-p99-s", "0.5",
+         "--no-backlog-aware-scaling"]
+    )
+    policy = _policy_from_args(args)
+    assert policy.signals == ("cpu", "slo")
+    assert policy.slo_p99_s == 0.5
+    assert policy.backlog_aware_scaling is False
+    # Unset flags fall through to defaults.
+    assert policy.grace_period_s == 30.0
+
+
+def test_figure8_policy_flags_beat_environment(monkeypatch):
+    from repro.cli import _policy_from_args
+
+    monkeypatch.setenv("REPRO_POLICY_MIN_HOSTS", "4")
+    monkeypatch.setenv("REPRO_POLICY_SLO_P99_S", "9.0")
+    args = build_parser().parse_args(["figure9", "--slo-p99-s", "0.25"])
+    policy = _policy_from_args(args)
+    assert policy.slo_p99_s == 0.25  # cli wins
+    assert policy.min_hosts == 4     # env fills the gap
+
+
+def test_policy_command_prints_provenance(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_POLICY_SPILL_DEPTH_LIMIT", "60")
+    assert main(["policy", "--signals", "cpu,slo,spill"]) == 0
+    out = capsys.readouterr().out
+    assert "signal stack: cpu > slo > spill" in out
+    assert "cli" in out
+    assert "env:REPRO_POLICY_SPILL_DEPTH_LIMIT" in out
+    assert "symptom_target_fraction" in out
+
+
+def test_policy_command_rejects_bad_signals(capsys):
+    with pytest.raises(SystemExit):
+        main(["policy", "--signals", "cpu,bogus"])
 
 
 def test_metrics_command_renders_table(capsys):
