@@ -27,6 +27,7 @@ experiments (``figure8``/``figure9``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -331,6 +332,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the resolved elasticity-policy signal stack and knobs",
     )
     _add_policy_options(p)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the chaos scenarios (RESILIENCE.md) and print verdicts",
+    )
+    p.add_argument(
+        "--scenario",
+        choices=["rack-loss", "manager-crash", "partition", "all"],
+        default="all",
+        help="which scenario family to run (default: all)",
+    )
+    p.add_argument("--rack-size", type=int, default=2,
+                   help="hosts lost at once in the rack-loss scenario")
+    p.add_argument(
+        "--phase", default="copy",
+        choices=["pre", "sync", "pause", "copy", "post"],
+        help="protocol phase whose start crashes the manager",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="also write each scenario's span trace (fault.injected, "
+             "recovery.*) as JSONL, one file per scenario next to PATH",
+    )
     return parser
 
 
@@ -692,7 +716,63 @@ def _cmd_policy(args) -> None:
     print(format_table(["knob", "value", "source"], rows))
 
 
+def _cmd_chaos(args) -> None:
+    from .experiments import run_manager_crash, run_partition_heal, run_rack_loss
+
+    def trace_path(scenario):
+        if args.trace is None:
+            return None
+        stem, ext = os.path.splitext(args.trace)
+        return f"{stem}_{scenario}{ext or '.jsonl'}"
+
+    outcomes = []
+    if args.scenario in ("rack-loss", "all"):
+        outcomes.append(run_rack_loss(
+            rack_size=args.rack_size, trace_out=trace_path("rack_loss")
+        ))
+    if args.scenario in ("manager-crash", "all"):
+        outcomes.append(run_manager_crash(
+            during="migration", phase=args.phase,
+            trace_out=trace_path("manager_crash_migration"),
+        ))
+        outcomes.append(run_manager_crash(
+            during="reshard", phase=args.phase,
+            trace_out=trace_path("manager_crash_reshard"),
+        ))
+    if args.scenario in ("partition", "all"):
+        outcomes.append(run_partition_heal(
+            trace_out=trace_path("partition_heal")
+        ))
+        outcomes.append(run_partition_heal(
+            migrate=True, trace_out=trace_path("partition_heal_migrate")
+        ))
+    if args.trace is not None:
+        print(f"span traces written next to {args.trace}")
+    print("Chaos scenarios — delivered multiset vs fault-free baseline")
+    rows = [
+        [
+            o.scenario,
+            o.published,
+            o.lost,
+            o.duplicates_suppressed,
+            "yes" if o.multiset_identical else "NO",
+        ]
+        for o in outcomes
+    ]
+    print(
+        format_table(
+            ["scenario", "published", "lost", "dups suppressed", "identical"],
+            rows,
+        )
+    )
+    for o in outcomes:
+        print(f"{o.scenario}: {o.detail}")
+    if not all(o.zero_loss and o.multiset_identical for o in outcomes):
+        raise SystemExit("chaos: a scenario lost or corrupted notifications")
+
+
 _COMMANDS = {
+    "chaos": _cmd_chaos,
     "cost": _cmd_cost,
     "policy": _cmd_policy,
     "figure1": _cmd_figure1,

@@ -7,7 +7,14 @@ from .cpu import CpuScheduler, CpuUsageSnapshot
 from .network import Network, NicStats
 from .host import Host, HostSpec
 from .cloud import CloudProvider
-from .failures import FailureDetector, FailureInjector, crash_host
+from .failures import (
+    FailureDetector,
+    FailureInjector,
+    FaultPlan,
+    Watchdog,
+    chaos_seed_from_env,
+    crash_host,
+)
 
 __all__ = [
     "CloudProvider",
@@ -15,9 +22,12 @@ __all__ = [
     "CpuUsageSnapshot",
     "FailureDetector",
     "FailureInjector",
+    "FaultPlan",
     "Host",
     "HostSpec",
     "Network",
     "NicStats",
+    "Watchdog",
+    "chaos_seed_from_env",
     "crash_host",
 ]

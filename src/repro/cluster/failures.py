@@ -4,20 +4,33 @@ STREAMMINE3G supports passive and active slice replication for fault
 tolerance (paper §III; its refs [25], [26]).  The paper's evaluation
 leaves replication out of scope; we implement the passive scheme end to
 end (checkpointing + upstream replay, :mod:`repro.engine.recovery`), and
-this module supplies the substrate: crashing hosts and a heartbeat-style
-failure detector with a configurable detection delay.
+this module supplies the substrate: crashing hosts, a heartbeat-style
+failure detector with a configurable detection delay, and the scripted
+chaos layer on top — :class:`FaultPlan` schedules correlated rack loss,
+link partitions, and manager crashes (optionally pinned to a migration
+phase), and :class:`Watchdog` interrupts operations that outlive their
+deadline.  The failure model these implement is written down in
+RESILIENCE.md.
 """
 
 from __future__ import annotations
 
+import os
 import random
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..sim import Environment
 from .cloud import CloudProvider
 from .host import Host
 
-__all__ = ["FailureDetector", "FailureInjector", "crash_host"]
+__all__ = [
+    "FailureDetector",
+    "FailureInjector",
+    "FaultPlan",
+    "Watchdog",
+    "chaos_seed_from_env",
+    "crash_host",
+]
 
 
 def crash_host(cloud: CloudProvider, host: Host) -> None:
@@ -46,14 +59,42 @@ class FailureDetector:
         self.env = env
         self.detection_delay_s = detection_delay_s
         self._listeners: List[Callable[[Host], None]] = []
+        self._reported: set = set()
         self.detected: List[Host] = []
 
     def subscribe(self, listener: Callable[[Host], None]) -> None:
         self._listeners.append(listener)
 
     def report_crash(self, host: Host) -> None:
-        """Called at crash time; listeners hear about it after the delay."""
+        """Called at crash time; listeners hear about it after the delay.
+
+        Idempotent per host, so an explicit report and a concurrent
+        :meth:`monitor` sweep never double-notify recovery.
+        """
+        if host.host_id in self._reported:
+            return
+        self._reported.add(host.host_id)
         self.env.call_later(self.detection_delay_s, self._notify, host)
+
+    def monitor(self, hosts_fn: Callable[[], List[Host]], interval_s: float = 1.0):
+        """Heartbeat sweep: detect crashed hosts nobody reported.
+
+        Every ``interval_s`` the detector polls ``hosts_fn()`` and reports
+        any host found released — the missed-heartbeat path that catches
+        correlated losses where the component that would have called
+        :meth:`report_crash` died with the rack.
+        """
+        if interval_s <= 0:
+            raise ValueError("monitor interval must be positive")
+
+        def run():
+            while True:
+                yield self.env.timeout(interval_s)
+                for host in hosts_fn():
+                    if host.released:
+                        self.report_crash(host)
+
+        return self.env.process(run())
 
     def _notify(self, host: Host) -> None:
         self.detected.append(host)
@@ -116,3 +157,253 @@ class FailureInjector:
         crash_host(self.cloud, host)
         self.crashed.append(host)
         self.detector.report_crash(host)
+
+
+def chaos_seed_from_env(variable: str = "REPRO_CHAOS_SEED") -> Optional[int]:
+    """The standing chaos seed, or ``None`` when chaos is not requested.
+
+    CI exports ``REPRO_CHAOS_SEED`` on its chaos leg so the whole tier-1
+    suite runs with a background single-host crash + partition heal (see
+    ``tests/conftest.py``); an unset or empty variable disables it.
+    """
+    raw = os.environ.get(variable, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{variable} must be an integer seed, got {raw!r}"
+        ) from None
+
+
+class Watchdog:
+    """Interrupts simulation processes that outlive a deadline.
+
+    The manager arms one per administrative operation (migration,
+    reshard): if the operation's process is still alive when the timer
+    fires — e.g. a partition swallowed the state transfer — the process
+    is interrupted, which triggers the operation's own rollback path.
+    """
+
+    def __init__(self, env: Environment, telemetry=None):
+        self.env = env
+        self.telemetry = telemetry
+        self.timeouts = 0
+
+    def guard(self, process, timeout_s: float, cause: str = "watchdog"):
+        """Arm a timer for ``process``; returns a zero-arg disarm callable."""
+        if timeout_s <= 0:
+            raise ValueError("watchdog timeout must be positive")
+        armed = [True]
+
+        def check():
+            if not armed[0] or not process.is_alive:
+                return
+            self.timeouts += 1
+            tel = self.telemetry
+            if tel is not None:
+                if tel.watchdog_timeouts is not None:
+                    tel.watchdog_timeouts.inc()
+                tel.tracer.event(
+                    "recovery.watchdog_timeout", cause=cause,
+                    timeout_s=timeout_s,
+                )
+            process.interrupt(cause)
+            # Nobody may be left waiting on the interrupted process (its
+            # waiter may itself have been the thing that hung): make sure
+            # its failure cannot crash the simulation.
+            process.defuse()
+
+        self.env.call_later(timeout_s, check)
+
+        def disarm():
+            armed[0] = False
+
+        return disarm
+
+
+class FaultPlan:
+    """A scripted schedule of correlated faults against one deployment.
+
+    Groups hosts into named racks, then injects — at absolute simulated
+    times — correlated rack loss, link partitions between host groups,
+    and manager crashes (optionally pinned to a specific migration or
+    reshard phase via the runtime's phase listeners).  Every injection is
+    recorded (``self.injected``) and, when telemetry is bound, emitted as
+    a ``fault.injected`` instant span plus a ``faults_injected_total``
+    count by kind.
+
+    The plan is deterministic: a seed picks victims only where the script
+    leaves them unspecified.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cloud: Optional[CloudProvider] = None,
+        detector: Optional[FailureDetector] = None,
+        telemetry=None,
+        seed: int = 0,
+    ):
+        self.env = env
+        self.cloud = cloud
+        self.detector = detector
+        self.telemetry = telemetry
+        self._rng = random.Random(seed)
+        self._groups: Dict[str, List[Host]] = {}
+        #: (time_s, kind, detail) of every fault actually injected.
+        self.injected: List[tuple] = []
+        self.crashed: List[Host] = []
+
+    @property
+    def network(self):
+        if self.cloud is None:
+            raise RuntimeError("fault plan has no cloud (network) bound")
+        return self.cloud.network
+
+    # -- host groups (racks) -------------------------------------------------
+
+    def group(self, name: str, hosts: Sequence[Host]) -> None:
+        """Register a named host group (a rack / failure domain)."""
+        if name in self._groups:
+            raise ValueError(f"group {name!r} already defined")
+        self._groups[name] = list(hosts)
+
+    def members(self, name: str) -> List[Host]:
+        if name not in self._groups:
+            raise ValueError(f"unknown group {name!r}")
+        return list(self._groups[name])
+
+    def _host_ids(self, group) -> List[str]:
+        """Host ids for a group name, a host list, or an id list."""
+        if isinstance(group, str):
+            return [h.host_id for h in self.members(group)]
+        return [h.host_id if isinstance(h, Host) else h for h in group]
+
+    def _record(self, kind: str, **detail) -> None:
+        self.injected.append((self.env.now, kind, detail))
+        tel = self.telemetry
+        if tel is not None:
+            if tel.faults_injected is not None:
+                tel.faults_injected.labels(kind=kind).inc()
+            tel.tracer.event("fault.injected", kind=kind, **detail)
+
+    # -- correlated host loss ------------------------------------------------
+
+    def crash_host_at(self, time_s: float, host: Optional[Host] = None):
+        """Crash one host (seed-picked from all groups when ``None``)."""
+        return self._at(time_s, self._crash_hosts, None, host)
+
+    def fail_group_at(self, time_s: float, name: str):
+        """Crash every host of a group at once — correlated rack loss."""
+        self.members(name)  # validate eagerly, at scripting time
+        return self._at(time_s, self._crash_hosts, name, None)
+
+    def _crash_hosts(self, name: Optional[str], host: Optional[Host]) -> None:
+        if name is not None:
+            victims = [h for h in self.members(name) if not h.released]
+        elif host is not None:
+            victims = [] if host.released else [host]
+        else:
+            pool = [
+                h
+                for hosts in self._groups.values()
+                for h in hosts
+                if not h.released
+            ]
+            victims = [self._rng.choice(pool)] if pool else []
+        if not victims:
+            return
+        for victim in victims:
+            crash_host(self.cloud, victim)
+            self.crashed.append(victim)
+        kind = "rack_loss" if len(victims) > 1 else "host_crash"
+        self._record(
+            kind,
+            group=name,
+            hosts=",".join(v.host_id for v in victims),
+        )
+        # Report only after the whole rack is down: detection is
+        # correlated too, and recovery must not observe a half-dead rack.
+        if self.detector is not None:
+            for victim in victims:
+                self.detector.report_crash(victim)
+
+    # -- link partitions -----------------------------------------------------
+
+    def partition_at(self, time_s: float, group_a, group_b):
+        """Cut the links between two host groups at ``time_s``."""
+        return self._at(time_s, self._partition, group_a, group_b)
+
+    def heal_at(self, time_s: float, group_a=None, group_b=None):
+        """Heal partitions at ``time_s`` (all of them when unspecified)."""
+        return self._at(time_s, self._heal, group_a, group_b)
+
+    def _partition(self, group_a, group_b) -> None:
+        ids_a, ids_b = self._host_ids(group_a), self._host_ids(group_b)
+        self.network.partition(ids_a, ids_b)
+        self._record(
+            "partition", a=",".join(ids_a), b=",".join(ids_b)
+        )
+
+    def _heal(self, group_a, group_b) -> None:
+        if group_a is None and group_b is None:
+            self.network.heal()
+            self._record("heal", a="*", b="*")
+            return
+        ids_a = self._host_ids(group_a or ())
+        ids_b = self._host_ids(group_b or ())
+        self.network.heal(ids_a, ids_b)
+        self._record("heal", a=",".join(ids_a), b=",".join(ids_b))
+
+    # -- manager crashes -----------------------------------------------------
+
+    def crash_manager_at(self, time_s: float, target):
+        """Crash a manager (anything with ``.crash()``) at ``time_s``."""
+        return self._at(time_s, self._crash_manager, target, None, None)
+
+    def crash_manager_at_phase(
+        self,
+        runtime,
+        target,
+        phase: str,
+        protocol: str = "migration",
+        slice_id: Optional[str] = None,
+    ) -> None:
+        """Crash a manager the moment a chosen operation phase starts.
+
+        ``runtime`` is the :class:`~repro.engine.runtime.EngineRuntime`
+        whose phase transitions are watched; ``protocol`` is
+        ``"migration"`` or ``"reshard"`` and ``phase`` one of the five
+        protocol phases (``pre``/``sync``/``pause``/``copy``/``post``).
+        The crash is scheduled one simulation instant after the phase
+        starts (a process cannot interrupt itself synchronously).
+        """
+        fired = [False]
+
+        def listener(sid: str, proto: str, name: str) -> None:
+            if fired[0] or proto != protocol or name != phase:
+                return
+            if slice_id is not None and sid != slice_id:
+                return
+            fired[0] = True
+            self.env.call_later(
+                0.0, self._crash_manager, target, proto, name
+            )
+
+        runtime.migration_phase_listeners.append(listener)
+
+    def _crash_manager(self, target, protocol, phase) -> None:
+        target.crash()
+        detail = {}
+        if protocol is not None:
+            detail = {"protocol": protocol, "phase": phase}
+        self._record("manager_crash", **detail)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _at(self, time_s: float, action, *args):
+        if time_s < self.env.now:
+            raise ValueError("cannot schedule a fault in the past")
+        self.env.call_later(time_s - self.env.now, action, *args)

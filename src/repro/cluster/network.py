@@ -21,7 +21,7 @@ loopback latency.
 from __future__ import annotations
 
 import zlib
-from typing import Any, Callable, Dict, Sequence
+from typing import Any, Callable, Dict, Sequence, Set, Tuple
 
 from ..sim import Environment
 
@@ -86,11 +86,18 @@ class Network:
         #: Simulated time until which each attached NIC is busy sending.
         self._nic_free_at: Dict[str, float] = {}
         self._stats: Dict[str, NicStats] = {}
+        #: Ordered (src, dst) host pairs whose link is currently cut.
+        #: Checked at send time only — transfers already in flight when
+        #: the partition starts still arrive (they left the sender's NIC).
+        self._partitions: Set[Tuple[str, str]] = set()
+        #: Messages dropped at send time by an active partition.
+        self.partition_drops = 0
         #: Pre-resolved telemetry counters (``None`` until a bundle with
         #: metrics enabled is bound; the unbound cost is one ``is None``).
         self._tel_messages = None
         self._tel_batches = None
         self._tel_bytes = None
+        self._tel_partition_drops = None
 
     def bind_telemetry(self, telemetry) -> None:
         """Attach a :class:`repro.telemetry.Telemetry` bundle.
@@ -103,6 +110,9 @@ class Network:
         self._tel_messages = telemetry.net_messages if telemetry is not None else None
         self._tel_batches = telemetry.net_batches if telemetry is not None else None
         self._tel_bytes = telemetry.net_bytes if telemetry is not None else None
+        self._tel_partition_drops = (
+            telemetry.partition_drops if telemetry is not None else None
+        )
 
     def attach(self, host_id: str) -> None:
         """Register a host NIC on the fabric (idempotent)."""
@@ -114,6 +124,50 @@ class Network:
 
     def is_attached(self, host_id: str) -> bool:
         return host_id in self._nic_free_at
+
+    # -- link partitions -----------------------------------------------------
+
+    def partition(self, group_a: Sequence[str], group_b: Sequence[str]) -> None:
+        """Cut every link between ``group_a`` and ``group_b`` (both ways).
+
+        Partitioned sends are dropped at the sender — the transfer is
+        charged to the NIC as usual but no delivery is scheduled, exactly
+        like frames vanishing inside a dead switch.  Loopback (src == dst)
+        is never partitioned.  Idempotent; heal with :meth:`heal`.
+        """
+        for a in group_a:
+            for b in group_b:
+                if a == b:
+                    continue
+                self._partitions.add((a, b))
+                self._partitions.add((b, a))
+
+    def heal(self, group_a: Sequence[str] = None, group_b: Sequence[str] = None) -> None:
+        """Restore cut links.
+
+        With no arguments every partition heals; with two groups only the
+        links between them are restored.
+        """
+        if group_a is None and group_b is None:
+            self._partitions.clear()
+            return
+        for a in group_a or ():
+            for b in group_b or ():
+                self._partitions.discard((a, b))
+                self._partitions.discard((b, a))
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        """True when messages from ``src`` to ``dst`` are being dropped."""
+        return (src, dst) in self._partitions
+
+    @property
+    def has_partitions(self) -> bool:
+        return bool(self._partitions)
+
+    def _drop_partitioned(self, count: int) -> None:
+        self.partition_drops += count
+        if self._tel_partition_drops is not None:
+            self._tel_partition_drops.inc(count)
 
     def stats(self, host_id: str) -> NicStats:
         """Byte counters for ``host_id`` (counters survive detach)."""
@@ -148,6 +202,9 @@ class Network:
             self._tel_messages.inc()
             self._tel_bytes.inc(size_bytes)
         arrival = self._arrival_time(src, dst, size_bytes, now)
+        if (src, dst) in self._partitions:
+            self._drop_partitioned(1)
+            return arrival
         self.env.call_later(arrival - now, self._deliver, dst, size_bytes, payload, deliver)
         return arrival
 
@@ -187,6 +244,9 @@ class Network:
             self._tel_batches.inc()
             self._tel_bytes.inc(total)
         arrival = self._arrival_time(src, dst, total, now)
+        if (src, dst) in self._partitions:
+            self._drop_partitioned(len(payloads))
+            return arrival
         self.env.call_later(
             arrival - now, self._deliver_batch, dst, total, payloads, deliver
         )

@@ -37,6 +37,7 @@ from .enforcer import (
     ScalingDecision,
 )
 from .manager import ElasticityManager, ManagerRecord
+from .failover import ManagerFailover
 
 __all__ = [
     "CpuBandSignal",
@@ -47,6 +48,7 @@ __all__ = [
     "ElasticityManager",
     "ElasticityPolicy",
     "HostBin",
+    "ManagerFailover",
     "HostProbe",
     "ManagerRecord",
     "NEW_HOST_PREFIX",

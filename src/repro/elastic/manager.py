@@ -6,17 +6,29 @@ and orchestrates the resulting migrations, host allocations and releases.
 The whole manager state — slice placement, the managed host set, and the
 migration log — is mirrored into a ZooKeeper-like coordination kernel so a
 failed manager can be restarted from the shared state.
+
+Failover (see RESILIENCE.md): when a ``checkpoint_store`` is attached,
+the manager additionally persists its decision history *and the decision
+currently executing* under :data:`~repro.engine.MANAGER_STATE_KEY`
+before touching the system.  A standby promoted after a
+:meth:`crash` (typically via :class:`~repro.coord.LeaderElection`, see
+:class:`~repro.elastic.failover.ManagerFailover`) rebuilds itself with
+:meth:`recover` and calls :meth:`resume_inflight` to classify every
+migration of the interrupted decision as completed or rolled back —
+in-flight migrations a crash kills roll back on interrupt
+(:mod:`repro.engine.migration`), so the system is never left halted.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..cluster import CloudProvider, Host
+from ..cluster import CloudProvider, Host, Watchdog
 from ..coord import CoordinationKernel, NoNodeError
-from ..engine import MigrationReport
-from ..sim import Environment
+from ..engine import Checkpoint, CheckpointStore, MANAGER_STATE_KEY, MigrationReport
+from ..sim import Environment, Interrupt
 from .binpack import NEW_HOST_PREFIX
 from .enforcer import ElasticityEnforcer, ScalingDecision
 from .policy import ElasticityPolicy
@@ -62,6 +74,8 @@ class ElasticityManager:
         enforcer: Optional[ElasticityEnforcer] = None,
         coord: Optional[CoordinationKernel] = None,
         probe_interval_s: float = 5.0,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        migration_timeout_s: Optional[float] = None,
     ):
         """Wire a manager to one deployed hub.
 
@@ -131,6 +145,35 @@ class ElasticityManager:
         self._executing = False
         self._last_action_at = -float("inf")
         self._started = False
+        #: Stable store for the manager's own state (enables failover).
+        self.checkpoint_store = checkpoint_store
+        self.migration_timeout_s = migration_timeout_s
+        self._watchdog = (
+            Watchdog(self.env, self.telemetry)
+            if migration_timeout_s is not None
+            else None
+        )
+        self._exec_process = None
+        #: Migration/reshard processes of the decision being executed.
+        self._inflight_ops: List = []
+        self.manager_crashes = 0
+        #: Fencing flag: once crashed, this manager instance may never
+        #: write to the checkpoint store again (a promoted standby owns
+        #: the epoch chain now).
+        self.crashed = False
+        #: ``(slice_id, outcome)`` pairs from :meth:`resume_inflight`.
+        self.failover_outcomes: List = []
+        self._manager_epoch = 0
+        if checkpoint_store is not None:
+            stored = checkpoint_store.get(MANAGER_STATE_KEY)
+            if stored is not None:
+                # Standby: continue the epoch chain and inherit the
+                # decision history the crashed primary persisted.
+                self._manager_epoch = stored.epoch
+                self.history = [
+                    ManagerRecord(**record)
+                    for record in stored.state.get("history", [])
+                ]
         self._init_config()
 
     # -- lifecycle ------------------------------------------------------------
@@ -178,14 +221,33 @@ class ElasticityManager:
         if decision is None or decision.is_empty:
             return
         self._executing = True
-        self.env.process(self._execute(decision))
+        self._exec_process = self.env.process(self._execute(decision))
 
     # -- decision execution ----------------------------------------------------------
+
+    def execute_decision(self, decision: ScalingDecision):
+        """Execute ``decision`` outside the probe loop (operator action).
+
+        The chaos scenarios use this to drive a *known* migration or
+        reshard through the manager's full execution path — persistence,
+        spans, failover accounting — at a deterministic time instead of
+        waiting for the policy to fire.  Returns the execution process.
+        """
+        if self._executing:
+            raise RuntimeError("a decision is already executing")
+        self._executing = True
+        self._exec_process = self.env.process(self._execute(decision))
+        return self._exec_process
 
     def _execute(self, decision: ScalingDecision):
         failures = 0
         released = 0
         shard_ops_done = 0
+        completed = False
+        # Persist the decision *before* acting: a standby that takes
+        # over mid-execution reads it back and classifies each planned
+        # migration as completed or rolled back (resume_inflight).
+        self._persist_state(inflight=self._decision_record(decision))
         tracer = self.telemetry.tracer if self.telemetry is not None else None
         span = None
         if tracer is not None and tracer.enabled:
@@ -223,20 +285,43 @@ class ElasticityManager:
                 if destination is None:
                     failures += 1
                     continue
-                migrations.append(self.hub.runtime.migrate(planned.slice_id, destination))
+                process = self.hub.runtime.migrate(planned.slice_id, destination)
+                migrations.append(process)
+                self._inflight_ops.append(process)
+            disarms = []
+            if self._watchdog is not None:
+                disarms = [
+                    self._watchdog.guard(
+                        process,
+                        self.migration_timeout_s,
+                        cause="migration_timeout",
+                    )
+                    for process in migrations
+                ]
             for process in migrations:
                 try:
                     report = yield process
+                except Interrupt:
+                    # The manager itself was crashed/timed out — do NOT
+                    # swallow this as a migration failure, or a zombie
+                    # manager keeps executing (and persisting) after a
+                    # standby has taken over.
+                    raise
                 except Exception:
                     failures += 1
                     continue
                 self.migration_reports.append(report)
                 self._record_migration(report)
+            for disarm in disarms:
+                disarm()
 
             for planned in decision.shard_ops:
                 process = self.hub.runtime.reshard(planned.slice_id, planned.op)
+                self._inflight_ops.append(process)
                 try:
                     report = yield process
+                except Interrupt:
+                    raise  # manager crash — see the migration loop above
                 except Exception:
                     # Not applicable anymore (e.g. a single-subscription
                     # shard) or the slice started migrating meanwhile.
@@ -271,8 +356,15 @@ class ElasticityManager:
                     signal=decision.signal,
                 )
             )
+            completed = True
+            self._persist_state(inflight=None)
         finally:
             if span is not None:
+                if not completed:
+                    # A crash or watchdog interrupt unwound the decision
+                    # mid-flight; close the span anyway so phase spans
+                    # always tile the execution interval.
+                    span.attrs["outcome"] = "aborted"
                 tracer.finish_span(
                     span,
                     released_hosts=released,
@@ -281,6 +373,190 @@ class ElasticityManager:
                 )
             self._last_action_at = self.env.now
             self._executing = False
+            self._exec_process = None
+            self._inflight_ops = []
+
+    # -- failover (see RESILIENCE.md) ------------------------------------------------
+
+    def _decision_record(self, decision: ScalingDecision) -> Dict:
+        return {
+            "kind": decision.kind.value,
+            "signal": decision.signal,
+            "migrations": [
+                {
+                    "slice": planned.slice_id,
+                    "from": planned.from_host,
+                    "to": planned.to_host,
+                }
+                for planned in decision.migrations
+            ],
+            "new_hosts": decision.new_hosts,
+            "release_hosts": list(decision.release_hosts),
+            "shard_ops": [
+                {
+                    "slice": planned.slice_id,
+                    "op": planned.op,
+                    "host": planned.host_id,
+                    # Pre-op shard count: lets a standby classify the
+                    # op as completed (count changed) or rolled back.
+                    "shards_before": self._shard_count(planned.slice_id),
+                }
+                for planned in decision.shard_ops
+            ],
+            "started_at": self.env.now,
+        }
+
+    def _shard_count(self, slice_id: str) -> Optional[int]:
+        try:
+            return self.hub.runtime.slice_stats(slice_id)["shards"]
+        except Exception:
+            return None
+
+    def _persist_state(self, inflight: Optional[Dict]) -> None:
+        """Checkpoint history + the in-flight decision to stable storage."""
+        if self.checkpoint_store is None or self.crashed:
+            # A crashed instance is fenced off stable storage: only the
+            # promoted standby may continue the epoch chain.
+            return
+        self._manager_epoch += 1
+        self.checkpoint_store.put(
+            Checkpoint(
+                slice_id=MANAGER_STATE_KEY,
+                epoch=self._manager_epoch,
+                captured_at=self.env.now,
+                state={
+                    "history": [
+                        dataclasses.asdict(record) for record in self.history
+                    ],
+                    "inflight": inflight,
+                },
+                vector={},
+                seq_counters={},
+                state_bytes=0,
+            )
+        )
+
+    def crash(self, kill_inflight: bool = True) -> List:
+        """Simulate a manager process crash (chaos scenarios).
+
+        Stops the control loop mid-whatever-it-was-doing.  With
+        ``kill_inflight`` (the default — the manager drives the
+        migration protocol, so its death strands the operation) every
+        in-flight migration/reshard is interrupted too and rolls back
+        via :mod:`repro.engine.migration`'s abort path.  With
+        ``kill_inflight=False`` the operations survive as orphans
+        (modeling an engine that completes a handoff already in its
+        final phase) and are returned so a standby can await them in
+        :meth:`resume_inflight`.
+        """
+        self.manager_crashes += 1
+        self.crashed = True
+        self.collector.stop()
+        self._started = False
+        orphans: List = []
+        exec_process = self._exec_process
+        if exec_process is not None and exec_process.is_alive:
+            ops = [p for p in self._inflight_ops if p.is_alive]
+            exec_process.interrupt("manager_crash")
+            exec_process.defuse()
+            if kill_inflight:
+                for process in ops:
+                    if process.is_alive:
+                        process.interrupt("manager_crash")
+                        process.defuse()
+            else:
+                orphans = ops
+        return orphans
+
+    def resume_inflight(self, orphans: Optional[List] = None):
+        """Settle the decision a crashed predecessor left executing.
+
+        Awaits any orphaned operations handed over from
+        :meth:`crash(kill_inflight=False) <crash>`, then reads the
+        persisted in-flight decision back from the checkpoint store and
+        classifies each planned migration against the live placement:
+        ``completed`` (the slice moved off its origin) or
+        ``rolled_back`` (still on the origin — the interrupt rolled it
+        back).  Clears the in-flight record and re-syncs the placement
+        mirror either way.
+
+        Returns the coordinating process (value: list of
+        ``(slice_id, outcome)`` pairs).
+        """
+        return self.env.process(self._resume_inflight(orphans or []))
+
+    def _resume_inflight(self, orphans: List):
+        tracer = self.telemetry.tracer if self.telemetry is not None else None
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span("recovery.failover", orphans=len(orphans))
+        for process in orphans:
+            if not process.is_alive:
+                continue
+            try:
+                report = yield process
+            except Exception:
+                continue  # interrupted elsewhere: rolled back
+            if isinstance(report, MigrationReport):
+                self.migration_reports.append(report)
+                self._record_migration(report)
+        stored = (
+            self.checkpoint_store.get(MANAGER_STATE_KEY)
+            if self.checkpoint_store is not None
+            else None
+        )
+        inflight = stored.state.get("inflight") if stored is not None else None
+        outcomes = []
+        failures = 0
+        if inflight is not None:
+            placement = self.hub.runtime.placement()
+            for planned in inflight["migrations"]:
+                current = placement.get(planned["slice"])
+                if current is not None and current != planned["from"]:
+                    outcomes.append((planned["slice"], "completed"))
+                else:
+                    outcomes.append((planned["slice"], "rolled_back"))
+                    failures += 1
+            shard_ops_done = 0
+            for planned in inflight.get("shard_ops", []):
+                before = planned.get("shards_before")
+                now = self._shard_count(planned["slice"])
+                if before is None or now is None:
+                    continue  # count unavailable: leave unclassified
+                grew = now > before
+                completed_op = grew if planned["op"] == "split" else now < before
+                if completed_op:
+                    outcomes.append((planned["slice"], "completed"))
+                    shard_ops_done += 1
+                else:
+                    outcomes.append((planned["slice"], "rolled_back"))
+                    failures += 1
+            self.history.append(
+                ManagerRecord(
+                    time=self.env.now,
+                    kind=inflight["kind"],
+                    migrations=len(inflight["migrations"]),
+                    new_hosts=inflight["new_hosts"],
+                    released_hosts=0,
+                    failures=failures,
+                    shard_ops=shard_ops_done,
+                    signal=inflight["signal"],
+                )
+            )
+        self.failover_outcomes = outcomes
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.manager_failovers is not None:
+            telemetry.manager_failovers.inc()
+        self._persist_state(inflight=None)
+        self._sync_placement()
+        if span is not None:
+            tracer.finish_span(
+                span,
+                migrations=len(outcomes),
+                rolled_back=failures,
+                completed=len(outcomes) - failures,
+            )
+        return outcomes
 
     # -- coordination-kernel mirror ------------------------------------------------------
 
@@ -338,6 +614,8 @@ class ElasticityManager:
         policy: Optional[ElasticityPolicy] = None,
         enforcer: Optional[ElasticityEnforcer] = None,
         probe_interval_s: float = 5.0,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        migration_timeout_s: Optional[float] = None,
     ) -> "ElasticityManager":
         """Rebuild a manager from the configuration stored in ``coord``.
 
@@ -345,6 +623,9 @@ class ElasticityManager:
         and slice placement were mirrored into the coordination kernel, so
         a standby manager (typically promoted by a
         :class:`~repro.coord.LeaderElection`) resumes from shared state.
+        Pass the primary's ``checkpoint_store`` to also inherit its
+        decision history and settle any in-flight decision
+        (:meth:`resume_inflight`).
         """
         host_ids = coord.get_children(f"{_ROOT}/hosts")
         engine_hosts = []
@@ -360,6 +641,8 @@ class ElasticityManager:
             enforcer=enforcer,
             coord=coord,
             probe_interval_s=probe_interval_s,
+            checkpoint_store=checkpoint_store,
+            migration_timeout_s=migration_timeout_s,
         )
 
     def stored_placement(self) -> Dict[str, str]:

@@ -19,13 +19,15 @@ from .migration import (
 )
 from .runtime import EngineRuntime, LogicalSlice, MigrationCosts, OperatorInfo
 from .retention import RetentionBuffer, RetentionLog
-from .checkpoint import Checkpoint, CheckpointStore
-from .recovery import RecoveryReport, ReliabilityCoordinator
+from .checkpoint import Checkpoint, CheckpointStore, MANAGER_STATE_KEY
+from .recovery import DeadLetterQueue, RecoveryReport, ReliabilityCoordinator
 
 __all__ = [
     "BROADCAST",
     "Checkpoint",
     "CheckpointStore",
+    "DeadLetterQueue",
+    "MANAGER_STATE_KEY",
     "EngineRuntime",
     "LogicalSlice",
     "MigrationCosts",

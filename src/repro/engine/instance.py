@@ -82,6 +82,10 @@ class SliceInstance:
         self.recovering = False
         self._busy = 0
         self._halted = False
+        #: Events dequeued-and-dropped while halted, in dequeue order.
+        #: Normally garbage (the migration destination also received
+        #: them); an aborted migration splices them back via resume().
+        self._halt_dropped: List[StreamEvent] = []
         self._destroyed = False
         self._buffering = buffering
         self._operator = logical_id.split(":", 1)[0]
@@ -166,10 +170,32 @@ class SliceInstance:
         self._check_quiescence()
         return event
 
+    def resume(self) -> None:
+        """Reverse a :meth:`halt` — an aborted migration re-activates the
+        origin instance.
+
+        Events the halted workers dequeued-and-dropped are spliced back at
+        the inbox front (they were dequeued before anything still queued,
+        so per-channel FIFO order is preserved), pending quiescence
+        watchers are discarded, and workers parked on an empty inbox wake
+        up.  Credits those events already returned at the first dequeue
+        are returned again on reprocessing; the channel credit cap absorbs
+        the double return.
+        """
+        if self._destroyed:
+            raise RuntimeError(f"{self.logical_id}: cannot resume a destroyed instance")
+        self._halted = False
+        if self._halt_dropped:
+            self.inbox.items.extendleft(reversed(self._halt_dropped))
+            self._halt_dropped = []
+        self._quiescence_watchers = []
+        self.inbox._serve_getters()
+
     def destroy(self) -> None:
         """Tear the instance down; delivered events are dropped."""
         self._destroyed = True
         self._halted = True
+        self._halt_dropped = []
         for worker in self._workers:
             if worker.is_alive:
                 worker.interrupt("destroyed")
@@ -306,6 +332,10 @@ class SliceInstance:
                     # (drop paths below already have it accounted).
                     self._flow.on_consumed(self, event.source)
                 if self._destroyed or self._halted:
+                    if self._halted and not self._destroyed:
+                        # Keep the drop reversible: an aborted migration
+                        # re-splices these in order (see resume()).
+                        self._halt_dropped.append(event)
                     continue  # safe drop: duplicated to the new instance
                 if (
                     self._dedup_vector

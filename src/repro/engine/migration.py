@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..cluster import Host
+from ..sim import Interrupt
 
 __all__ = [
     "MigrationReport",
@@ -62,8 +63,52 @@ class MigrationError(RuntimeError):
     Raised synchronously by :func:`migrate_slice` for invalid requests:
     unknown or undeployed slices, a slice already migrating, a
     destination equal to the origin, or a destination host that has been
-    released back to the provider.
+    released back to the provider.  Also raised *asynchronously* (the
+    coordinating process fails with it) when an in-flight operation is
+    interrupted — by a watchdog timeout or a crashing manager — and rolls
+    back.
     """
+
+
+def _undo_shard_op(handler, op: str, result) -> None:
+    """Apply the inverse shard operation after an aborted reshard.
+
+    The reshard "copy" adopts the origin's library by reference, so a
+    split/merge that already ran has mutated state the origin will keep
+    using after the rollback.  Reversing it (split ↔ merge at the same
+    boundary) makes the rollback exact; if the inverse is not applicable
+    (concurrent structural change) the slice keeps the applied op, which
+    is semantically harmless — sharding never changes match results.
+    """
+    try:
+        if op == "split":
+            handler.reshard("merge", shard_index=result.shard_index)
+        else:
+            handler.reshard(
+                "split",
+                shard_index=result.shard_index,
+                pivot_key=result.pivot_key,
+            )
+    except Exception:
+        pass
+
+
+def _rollback(runtime, logical, origin, destination, halted: bool) -> None:
+    """Undo a partially executed migration/reshard after an interrupt.
+
+    Reached only before the activation point (activation → origin
+    destruction → completion happen in one synchronous block, which an
+    interrupt cannot split).  The origin is still the active instance and
+    received every event the destination did, so dropping the buffering
+    destination loses nothing; a halted origin additionally gets its
+    dequeued-but-dropped events spliced back and its workers woken
+    (:meth:`SliceInstance.resume`).
+    """
+    if destination is not None:
+        logical.pending = None
+        destination.destroy()
+    if halted:
+        origin.resume()
 
 
 @dataclass(frozen=True)
@@ -138,71 +183,109 @@ def migrate_slice(runtime, slice_id: str, dest_host: Host):
         )
         phase = tracer.start_span("migration.pre", parent=root)
 
-    # (2) Create the inactive destination instance and rewire the DAG to
-    # duplicate incoming events.  The fixed pre-overhead models the
-    # round-trips through the shared configuration service.
-    yield env.timeout(costs.pre_s)
-    destination = SliceInstance(
-        runtime,
-        slice_id,
-        info.handler_factory(logical.index),
-        dest_host,
-        parallelism=info.parallelism,
-        buffering=True,
-    )
-    logical.pending = destination
-    cutoffs = runtime.sent_cutoffs(slice_id)
-    if phase is not None:
-        tracer.finish_span(phase)
-        phase = tracer.start_span("migration.sync", parent=root)
-
-    # (3) Wait until the origin processed everything sent before
-    # duplication, then stop it and wait for in-flight work to finish.
-    yield origin.wait_until_processed(cutoffs)
-    interruption_start = env.now
-    if phase is not None:
-        tracer.finish_span(phase)
-        phase = tracer.start_span("migration.pause", parent=root)
-    yield origin.halt()
-    if phase is not None:
-        tracer.finish_span(phase)
-        phase = tracer.start_span("migration.copy", parent=root)
-
-    # (4) Copy the state with its timestamp vector.
-    vector = dict(origin.last_processed)
-    state = origin.handler.export_state()
-    state_bytes = origin.handler.state_size_bytes()
-    if state_bytes > 0:
-        serialize_cpu = state_bytes * costs.serialize_s_per_byte
-        if serialize_cpu > 0:
-            yield from origin.host.cpu.run(serialize_cpu, tag=slice_id)
-        transferred = env.event()
-        runtime.network.send(
-            origin.host.host_id,
-            dest_host.host_id,
-            state_bytes,
-            None,
-            lambda _payload: transferred.succeed(),
+    destination = None
+    halted = activated = False
+    try:
+        # (2) Create the inactive destination instance and rewire the DAG
+        # to duplicate incoming events.  The fixed pre-overhead models the
+        # round-trips through the shared configuration service.
+        runtime._notify_migration_phase(slice_id, "migration", "pre")
+        yield env.timeout(costs.pre_s)
+        destination = SliceInstance(
+            runtime,
+            slice_id,
+            info.handler_factory(logical.index),
+            dest_host,
+            parallelism=info.parallelism,
+            buffering=True,
         )
-        yield transferred
-        deserialize_cpu = state_bytes * costs.deserialize_s_per_byte
-        if deserialize_cpu > 0:
-            yield from dest_host.cpu.run(deserialize_cpu, tag=slice_id)
-    destination.handler.import_state(state)
+        logical.pending = destination
+        cutoffs = runtime.sent_cutoffs(slice_id)
+        if phase is not None:
+            tracer.finish_span(phase)
+            phase = tracer.start_span("migration.sync", parent=root)
 
-    # Resume on the destination; obsolete duplicated events are filtered
-    # via the timestamp vector inside the worker loop.
-    destination.activate(vector)
-    logical.active = destination
-    logical.pending = None
-    origin.destroy()
-    interruption_end = env.now
-    if phase is not None:
-        tracer.finish_span(phase, state_bytes=state_bytes)
-        phase = tracer.start_span("migration.post", parent=root)
+        # (3) Wait until the origin processed everything sent before
+        # duplication, then stop it and wait for in-flight work to finish.
+        runtime._notify_migration_phase(slice_id, "migration", "sync")
+        yield origin.wait_until_processed(cutoffs)
+        interruption_start = env.now
+        if phase is not None:
+            tracer.finish_span(phase)
+            phase = tracer.start_span("migration.pause", parent=root)
+        runtime._notify_migration_phase(slice_id, "migration", "pause")
+        halted = True
+        yield origin.halt()
+        if phase is not None:
+            tracer.finish_span(phase)
+            phase = tracer.start_span("migration.copy", parent=root)
 
-    # (5) Final configuration update.
-    yield env.timeout(costs.post_s)
+        # (4) Copy the state with its timestamp vector.
+        runtime._notify_migration_phase(slice_id, "migration", "copy")
+        vector = dict(origin.last_processed)
+        state = origin.handler.export_state()
+        state_bytes = origin.handler.state_size_bytes()
+        if state_bytes > 0:
+            serialize_cpu = state_bytes * costs.serialize_s_per_byte
+            if serialize_cpu > 0:
+                yield from origin.host.cpu.run(serialize_cpu, tag=slice_id)
+            transferred = env.event()
+            runtime.network.send(
+                origin.host.host_id,
+                dest_host.host_id,
+                state_bytes,
+                None,
+                lambda _payload: transferred.succeed(),
+            )
+            yield transferred
+            deserialize_cpu = state_bytes * costs.deserialize_s_per_byte
+            if deserialize_cpu > 0:
+                yield from dest_host.cpu.run(deserialize_cpu, tag=slice_id)
+        destination.handler.import_state(state)
+
+        # Resume on the destination; obsolete duplicated events are
+        # filtered via the timestamp vector inside the worker loop.
+        destination.activate(vector)
+        logical.active = destination
+        logical.pending = None
+        origin.destroy()
+        activated = True
+        interruption_end = env.now
+        if phase is not None:
+            tracer.finish_span(phase, state_bytes=state_bytes)
+            phase = tracer.start_span("migration.post", parent=root)
+
+        # (5) Final configuration update.
+        runtime._notify_migration_phase(slice_id, "migration", "post")
+        yield env.timeout(costs.post_s)
+    except Interrupt as interrupt:
+        if not activated:
+            # The origin is still authoritative: drop the buffering twin,
+            # splice back what the halt dropped, and fail the process so
+            # the operation's waiter (manager, watchdog arm) sees the
+            # abort.  Phase spans close at the abort instant, so they
+            # still tile [started_at, now].
+            _rollback(runtime, logical, origin, destination, halted)
+            runtime.migrations_aborted += 1
+            if phase is not None:
+                tracer.finish_span(phase, outcome="aborted")
+                tracer.finish_span(
+                    root, outcome="aborted", resolution="rolled_back",
+                    duration_s=env.now - started_at,
+                )
+            raise MigrationError(
+                f"migration of {slice_id} aborted "
+                f"({interrupt.cause}): rolled back to "
+                f"{origin.host.host_id}"
+            ) from None
+        # Interrupted in the post phase: the destination is already live
+        # and the origin destroyed — roll forward, reporting completion
+        # at the abort instant (only the config-update tail was cut).
+        if phase is not None:
+            tracer.finish_span(phase, outcome="aborted")
+            phase = None
+            root.attrs["outcome"] = "aborted"
+            root.attrs["resolution"] = "completed"
     runtime.migrations_completed += 1
     report = MigrationReport(
         slice_id=slice_id,
@@ -213,8 +296,9 @@ def migrate_slice(runtime, slice_id: str, dest_host: Host):
         state_bytes=state_bytes,
         interruption_s=interruption_end - interruption_start,
     )
-    if phase is not None:
-        tracer.finish_span(phase)
+    if root is not None:
+        if phase is not None:
+            tracer.finish_span(phase)
         tracer.finish_span(
             root,
             state_bytes=state_bytes,
@@ -315,59 +399,97 @@ def reshard_slice(
         )
         phase = tracer.start_span("reshard.pre", parent=root)
 
-    # (2) Same protocol as a migration: a buffering twin instance on the
-    # *same* host receives duplicated events while the origin drains.
-    yield env.timeout(costs.pre_s)
-    destination = SliceInstance(
-        runtime,
-        slice_id,
-        info.handler_factory(logical.index),
-        host,
-        parallelism=info.parallelism,
-        buffering=True,
-    )
-    logical.pending = destination
-    cutoffs = runtime.sent_cutoffs(slice_id)
-    if phase is not None:
-        tracer.finish_span(phase)
-        phase = tracer.start_span("reshard.sync", parent=root)
+    destination = None
+    result = None
+    halted = activated = False
+    try:
+        # (2) Same protocol as a migration: a buffering twin instance on
+        # the *same* host receives duplicated events while the origin
+        # drains.
+        runtime._notify_migration_phase(slice_id, "reshard", "pre")
+        yield env.timeout(costs.pre_s)
+        destination = SliceInstance(
+            runtime,
+            slice_id,
+            info.handler_factory(logical.index),
+            host,
+            parallelism=info.parallelism,
+            buffering=True,
+        )
+        logical.pending = destination
+        cutoffs = runtime.sent_cutoffs(slice_id)
+        if phase is not None:
+            tracer.finish_span(phase)
+            phase = tracer.start_span("reshard.sync", parent=root)
 
-    # (3) Drain to the duplication cutoffs, then quiesce the origin.
-    yield origin.wait_until_processed(cutoffs)
-    interruption_start = env.now
-    if phase is not None:
-        tracer.finish_span(phase)
-        phase = tracer.start_span("reshard.pause", parent=root)
-    yield origin.halt()
-    if phase is not None:
-        tracer.finish_span(phase)
-        phase = tracer.start_span("reshard.copy", parent=root)
+        # (3) Drain to the duplication cutoffs, then quiesce the origin.
+        runtime._notify_migration_phase(slice_id, "reshard", "sync")
+        yield origin.wait_until_processed(cutoffs)
+        interruption_start = env.now
+        if phase is not None:
+            tracer.finish_span(phase)
+            phase = tracer.start_span("reshard.pause", parent=root)
+        runtime._notify_migration_phase(slice_id, "reshard", "pause")
+        halted = True
+        yield origin.halt()
+        if phase is not None:
+            tracer.finish_span(phase)
+            phase = tracer.start_span("reshard.copy", parent=root)
 
-    # (4) Adopt the state by reference and perform the shard operation.
-    # Only the physically rewritten rows cost CPU — a merge or a
-    # boundary-aligned split swaps chunk ownership and charges nothing.
-    vector = dict(origin.last_processed)
-    destination.handler.adopt_from(handler)
-    result = destination.handler.reshard(
-        op, shard_index=shard_index, pivot_key=pivot_key
-    )
-    state_bytes = result.bytes_rewritten
-    rework_cpu = state_bytes * (
-        costs.serialize_s_per_byte + costs.deserialize_s_per_byte
-    )
-    if rework_cpu > 0:
-        yield from host.cpu.run(rework_cpu, tag=slice_id)
-    destination.activate(vector)
-    logical.active = destination
-    logical.pending = None
-    origin.destroy()
-    interruption_end = env.now
-    if phase is not None:
-        tracer.finish_span(phase, rows_rewritten=result.rows_rewritten)
-        phase = tracer.start_span("reshard.post", parent=root)
+        # (4) Adopt the state by reference and perform the shard
+        # operation.  Only the physically rewritten rows cost CPU — a
+        # merge or a boundary-aligned split swaps chunk ownership and
+        # charges nothing.
+        runtime._notify_migration_phase(slice_id, "reshard", "copy")
+        vector = dict(origin.last_processed)
+        destination.handler.adopt_from(handler)
+        result = destination.handler.reshard(
+            op, shard_index=shard_index, pivot_key=pivot_key
+        )
+        state_bytes = result.bytes_rewritten
+        rework_cpu = state_bytes * (
+            costs.serialize_s_per_byte + costs.deserialize_s_per_byte
+        )
+        if rework_cpu > 0:
+            yield from host.cpu.run(rework_cpu, tag=slice_id)
+        destination.activate(vector)
+        logical.active = destination
+        logical.pending = None
+        origin.destroy()
+        activated = True
+        interruption_end = env.now
+        if phase is not None:
+            tracer.finish_span(phase, rows_rewritten=result.rows_rewritten)
+            phase = tracer.start_span("reshard.post", parent=root)
 
-    # (5) Final configuration update.
-    yield env.timeout(costs.post_s)
+        # (5) Final configuration update.
+        runtime._notify_migration_phase(slice_id, "reshard", "post")
+        yield env.timeout(costs.post_s)
+    except Interrupt as interrupt:
+        if not activated:
+            if result is not None:
+                # The shard op already mutated the library, which the
+                # twin adopted *by reference* — the origin shares it.
+                # Undo with the inverse op so "rolled back" is true of
+                # the state, not just of the instance swap.
+                _undo_shard_op(destination.handler, op, result)
+            _rollback(runtime, logical, origin, destination, halted)
+            runtime.shard_ops_aborted += 1
+            if phase is not None:
+                tracer.finish_span(phase, outcome="aborted")
+                tracer.finish_span(
+                    root, outcome="aborted", resolution="rolled_back",
+                    duration_s=env.now - started_at,
+                )
+            raise MigrationError(
+                f"{op} of {slice_id} aborted ({interrupt.cause}): "
+                f"rolled back"
+            ) from None
+        if phase is not None:
+            tracer.finish_span(phase, outcome="aborted")
+            phase = None
+            root.attrs["outcome"] = "aborted"
+            root.attrs["resolution"] = "completed"
     runtime.shard_ops_completed += 1
     report = ShardOpReport(
         slice_id=slice_id,
@@ -383,8 +505,9 @@ def reshard_slice(
         completed_at=env.now,
         interruption_s=interruption_end - interruption_start,
     )
-    if phase is not None:
-        tracer.finish_span(phase)
+    if root is not None:
+        if phase is not None:
+            tracer.finish_span(phase)
         tracer.finish_span(
             root,
             op=op,

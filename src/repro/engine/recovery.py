@@ -17,15 +17,17 @@ re-emissions the downstream had already received carry their original
 sequence numbers (regenerated from the checkpointed counters) and a
 ``replayed`` flag, and are dropped by receive-side deduplication.
 
-Determinism caveat: sequence-number realignment of re-emissions requires
-reprocessing inputs in the original order.  Replay is processed
-exclusively (serialized on the slice lock) so this holds per input
-channel; across *multiple* input channels it additionally requires a
-deterministic channel merge order, which StreamMine3G's deterministic
-execution provides but this engine does not enforce — with multiple
-upstream channels, recovery guarantees state correctness and
-channel-level exactly-once, while individual re-emission payloads may
-pair with different sequence numbers than the originals.
+Determinism caveat: with multiple upstream channels, sequence-number
+realignment of re-emissions additionally requires a deterministic
+channel merge order, which this engine does not enforce — see DESIGN.md
+§11 for the full statement of what is and is not guaranteed.
+
+Two further pieces support the chaos scenarios (see RESILIENCE.md):
+the :class:`DeadLetterQueue` parks events whose destination slice is
+unrecoverable instead of losing them silently, and
+:meth:`ReliabilityCoordinator.replay_missing` re-delivers retained
+suffixes after a network partition heals, relying on receive-side
+duplicate suppression to keep the notification multiset exact.
 """
 
 from __future__ import annotations
@@ -37,7 +39,76 @@ from ..cluster import Host
 from .checkpoint import STABLE_STORAGE, Checkpoint, CheckpointStore
 from .runtime import EngineRuntime
 
-__all__ = ["ReliabilityCoordinator", "RecoveryReport"]
+__all__ = ["DeadLetterQueue", "ReliabilityCoordinator", "RecoveryReport"]
+
+#: Replacement-host name in a RecoveryReport for a dead-lettered slice.
+UNRECOVERABLE = "<unrecoverable>"
+
+
+@dataclasses.dataclass(frozen=True)
+class DeadLetterEntry:
+    """One batch of events parked because their destination is gone."""
+
+    slice_id: str
+    reason: str
+    time: float
+    events: tuple
+
+
+class DeadLetterQueue:
+    """Terminal parking lot for events with an unrecoverable destination.
+
+    When a destination slice cannot be recovered (no replacement host,
+    or the logical slice was torn down), routing an event to it would
+    either crash the run or lose the event silently.  The dead-letter
+    queue makes the loss explicit and auditable instead: events are
+    parked per destination slice with a reason, counted in
+    ``dead_letter_events_total``, and can be drained later if the slice
+    ever comes back (an operator decision, not automatic).
+    """
+
+    def __init__(self, env, telemetry=None):
+        self.env = env
+        self.telemetry = telemetry
+        self._entries: Dict[str, List[DeadLetterEntry]] = {}
+        #: Total events parked, across all slices and reasons.
+        self.total = 0
+
+    def push(self, slice_id: str, events, reason: str) -> None:
+        """Park ``events`` destined for ``slice_id``."""
+        events = tuple(events)
+        if not events:
+            return
+        entry = DeadLetterEntry(
+            slice_id=slice_id, reason=reason, time=self.env.now, events=events
+        )
+        self._entries.setdefault(slice_id, []).append(entry)
+        self.total += len(events)
+        tel = self.telemetry
+        if tel is not None:
+            if tel.dead_letter_events is not None:
+                tel.dead_letter_events.inc(len(events))
+            tel.tracer.event(
+                "recovery.dead_letter",
+                slice=slice_id,
+                reason=reason,
+                events=len(events),
+            )
+
+    def entries(self, slice_id: Optional[str] = None) -> List[DeadLetterEntry]:
+        if slice_id is not None:
+            return list(self._entries.get(slice_id, ()))
+        return [e for batch in self._entries.values() for e in batch]
+
+    def drain(self, slice_id: str) -> List[DeadLetterEntry]:
+        """Remove and return every parked entry for ``slice_id``."""
+        return self._entries.pop(slice_id, [])
+
+    def slices(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return self.total
 
 
 @dataclasses.dataclass(frozen=True)
@@ -50,6 +121,9 @@ class RecoveryReport:
     replayed_events: int
     started_at: float
     completed_at: float
+    #: Events parked in the dead-letter queue because no replacement
+    #: host could be found (``replacement_host == UNRECOVERABLE``).
+    dead_lettered: int = 0
 
     @property
     def duration_s(self) -> float:
@@ -77,7 +151,15 @@ class ReliabilityCoordinator:
         self._managed: List[str] = []
         self._started = False
         self.recovery_reports: List[RecoveryReport] = []
+        #: Slice ids whose recovery was abandoned to the dead-letter
+        #: queue (no replacement host).
+        self.unrecoverable: List[str] = []
         runtime.enable_retention()
+
+    @property
+    def _tracer(self):
+        telemetry = self.runtime.telemetry
+        return telemetry.tracer if telemetry is not None else None
 
     # -- checkpointing ---------------------------------------------------------
 
@@ -171,24 +253,99 @@ class ReliabilityCoordinator:
             for slice_id, logical in self.runtime.slices.items()
             if logical.active is not None and logical.active.host is host
         ]
+        tracer = self._tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                "recovery.host", host=host.host_id, slices=len(victims)
+            )
         reports = []
         for slice_id in victims:
             self.runtime.slices[slice_id].active.destroy()
         for slice_id in victims:
-            report = yield from self._recover_slice(slice_id)
+            report = yield from self._recover_slice(slice_id, parent=span)
             reports.append(report)
+        if span is not None:
+            tracer.finish_span(
+                span,
+                recovered=sum(
+                    1 for r in reports if r.replacement_host != UNRECOVERABLE
+                ),
+                dead_lettered=sum(r.dead_lettered for r in reports),
+            )
         return reports
 
-    def _recover_slice(self, slice_id: str):
+    def _replacement_host(self) -> Optional[Host]:
+        if self.replacement_host_fn is None:
+            return None
+        try:
+            return self.replacement_host_fn()
+        except Exception:
+            return None
+
+    def _abandon_slice(self, slice_id: str, started_at: float, parent=None):
+        """No replacement host: dead-letter the retained suffix.
+
+        The slice's logical id stays routable (``active = None``), so
+        the runtime dead-letters every *future* event toward it too; the
+        retained suffix — everything the victim had not durably
+        processed per its last checkpoint — is parked with it.
+        """
+        logical = self.runtime.slices[slice_id]
+        logical.active = None
+        checkpoint = self.store.get(slice_id)
+        vector = dict(checkpoint.vector) if checkpoint is not None else {}
+        parked = 0
+        dead_letters = self.runtime.dead_letters
+        retention = self.runtime.retention
+        if dead_letters is not None and retention is not None:
+            for source, buffer in retention.channels_to(slice_id):
+                events = buffer.suffix_after(vector.get(source, -1))
+                if events:
+                    dead_letters.push(slice_id, events, "unrecoverable")
+                    parked += len(events)
+        self.unrecoverable.append(slice_id)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.event(
+                "recovery.unrecoverable",
+                parent=parent,
+                slice=slice_id,
+                dead_lettered=parked,
+            )
+        report = RecoveryReport(
+            slice_id=slice_id,
+            replacement_host=UNRECOVERABLE,
+            restored_epoch=checkpoint.epoch if checkpoint else None,
+            replayed_events=0,
+            started_at=started_at,
+            completed_at=self.env.now,
+            dead_lettered=parked,
+        )
+        self.recovery_reports.append(report)
+        return report
+
+    def _recover_slice(self, slice_id: str, parent=None):
         from .instance import SliceInstance
 
         started_at = self.env.now
-        if self.replacement_host_fn is None:
-            raise RuntimeError("no replacement_host_fn configured")
-        replacement = self.replacement_host_fn()
+        replacement = self._replacement_host()
+        if replacement is None:
+            if self.runtime.dead_letters is None:
+                raise RuntimeError("no replacement_host_fn configured")
+            return self._abandon_slice(slice_id, started_at, parent=parent)
         logical = self.runtime.slices[slice_id]
         info = self.runtime.operators[logical.operator]
         checkpoint = self.store.get(slice_id)
+        tracer = self._tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                "recovery.slice",
+                parent=parent,
+                slice=slice_id,
+                replacement=replacement.host_id,
+            )
 
         instance = SliceInstance(
             self.runtime,
@@ -282,4 +439,79 @@ class ReliabilityCoordinator:
             completed_at=self.env.now,
         )
         self.recovery_reports.append(report)
+        if span is not None:
+            tracer.finish_span(
+                span,
+                replayed_events=replayed,
+                restored_epoch=report.restored_epoch,
+            )
         return report
+
+    # -- partition healing ---------------------------------------------------------
+
+    def replay_missing(self, slice_ids: Optional[List[str]] = None):
+        """Re-deliver retained suffixes after a network partition heals.
+
+        A partition on the raw fabric (transport passthrough) silently
+        drops in-flight messages, leaving per-channel sequence gaps that
+        ``last_received`` — a high-water mark — cannot locate once
+        post-heal traffic has advanced it.  Rather than track gaps, the
+        coordinator replays *every* retained event of every inbound
+        channel (``replayed=True``) and relies on receive-side duplicate
+        suppression: channels with ``replay_dedup`` drop re-deliveries
+        inside their dedup range, and the content-idempotent pub/sub
+        operators let the hub's pub-id dedup suppress duplicate
+        notifications (see RESILIENCE.md §non-goals for the limits).
+
+        Retention is pruned at each checkpoint, so the replay volume is
+        bounded by one checkpoint interval of traffic per channel.
+
+        Returns the coordinating process (value: events re-delivered).
+        """
+        return self.env.process(self._replay_missing(slice_ids))
+
+    def _replay_missing(self, slice_ids: Optional[List[str]]):
+        retention = self.runtime.retention
+        if retention is None:
+            return 0
+        if slice_ids is None:
+            slice_ids = list(self.runtime.slices)
+        tracer = self._tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start_span("recovery.replay", slices=len(slice_ids))
+        redelivered = 0
+        for slice_id in slice_ids:
+            logical = self.runtime.slices.get(slice_id)
+            if logical is None:
+                continue
+            for instance in logical.instances():
+                if instance is None:
+                    continue
+                for source, buffer in retention.channels_to(slice_id):
+                    events = buffer.suffix_after(-1)
+                    if not events:
+                        continue
+                    src_host = self.runtime._source_host_id(source)
+                    if self.runtime.network.is_partitioned(
+                        src_host, instance.host.host_id
+                    ):
+                        continue  # still cut off; replay again after heal
+                    size = sum(e.size_bytes for e in events)
+                    done = self.env.event()
+                    self.runtime.network.send(
+                        src_host,
+                        instance.host.host_id,
+                        size,
+                        None,
+                        lambda _payload, _done=done: _done.succeed(),
+                    )
+                    yield done
+                    for event in events:
+                        instance.deliver(
+                            dataclasses.replace(event, replayed=True)
+                        )
+                    redelivered += len(events)
+        if span is not None:
+            tracer.finish_span(span, redelivered=redelivered)
+        return redelivered

@@ -103,8 +103,18 @@ class EngineRuntime:
         self._next_seq_by_dst: Dict[str, Dict[str, int]] = {}
         self.migrations_completed = 0
         self.shard_ops_completed = 0
+        self.migrations_aborted = 0
+        self.shard_ops_aborted = 0
         #: Upstream retention for crash recovery; None unless enabled.
         self.retention = None
+        #: Dead-letter queue for events whose destination slice is gone
+        #: and unrecoverable (``None`` = strict mode: routing to an
+        #: undeployed slice raises, the seed behaviour).
+        self.dead_letters = None
+        #: ``listener(slice_id, protocol, phase)`` callbacks fired at the
+        #: start of every migration/reshard phase — the hook chaos plans
+        #: use to crash a manager at a chosen protocol point.
+        self.migration_phase_listeners: List[Callable[[str, str, str], None]] = []
         #: Observability bundle (:class:`repro.telemetry.Telemetry`), or
         #: ``None``.  Hot paths test the pre-resolved fields below so the
         #: unbound cost is a single ``is None`` check.
@@ -235,7 +245,7 @@ class EngineRuntime:
             routed_fam.labels(operator=operator).inc(len(indices))
         for index in indices:
             logical = self.slices[f"{operator}:{index}"]
-            if logical.active is None:
+            if logical.active is None and self.dead_letters is None:
                 raise RuntimeError(f"slice {logical.id} is not deployed")
             by_dst = self._next_seq_by_src.setdefault(source_key, {})
             seq = by_dst.get(logical.id, 0)
@@ -244,6 +254,9 @@ class EngineRuntime:
             event = StreamEvent(kind, payload, source_key, seq, size_bytes, now, replayed)
             if self.retention is not None:
                 self.retention.record(source_key, logical.id, event)
+            if logical.active is None:
+                self.dead_letters.push(logical.id, [event], "undeployed")
+                continue
             for instance in logical.instances():
                 self.transport.send(source_key, src_host, instance, event)
 
@@ -284,7 +297,7 @@ class EngineRuntime:
                 indices = (int(key) % info.slice_count,)
             for index in indices:
                 logical = self.slices[f"{operator}:{index}"]
-                if logical.active is None:
+                if logical.active is None and self.dead_letters is None:
                     raise RuntimeError(f"slice {logical.id} is not deployed")
                 seq = by_dst.get(logical.id, 0)
                 by_dst[logical.id] = seq + 1
@@ -302,6 +315,9 @@ class EngineRuntime:
                 routed_fam.labels(
                     operator=dest_id.split(":", 1)[0]
                 ).inc(len(events))
+            if logical.active is None:
+                self.dead_letters.push(dest_id, events, "undeployed")
+                continue
             for instance in logical.instances():
                 self.transport.send_many(source_key, src_host, instance, events)
 
@@ -332,6 +348,24 @@ class EngineRuntime:
 
         if self.retention is None:
             self.retention = RetentionLog()
+
+    def enable_dead_letters(self):
+        """Park events for unrecoverable destinations instead of raising.
+
+        Returns the :class:`~repro.engine.recovery.DeadLetterQueue`
+        (idempotent) that :meth:`route`/:meth:`route_batch` feed when a
+        destination slice has no active instance — the terminal shed
+        point when recovery cannot find a replacement host.
+        """
+        from .recovery import DeadLetterQueue
+
+        if self.dead_letters is None:
+            self.dead_letters = DeadLetterQueue(self.env, self.telemetry)
+        return self.dead_letters
+
+    def _notify_migration_phase(self, slice_id: str, protocol: str, phase: str) -> None:
+        for listener in list(self.migration_phase_listeners):
+            listener(slice_id, protocol, phase)
 
     def seq_counters_from(self, slice_id: str) -> Dict[str, int]:
         """Outgoing sequence counters of ``slice_id`` (checkpointed so a

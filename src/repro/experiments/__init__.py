@@ -24,6 +24,15 @@ from .migration import (
     run_table1,
 )
 from .elastic import ElasticRunResult, run_elastic, run_figure8, run_figure9
+from .chaos import (
+    ChaosOutcome,
+    multiset_digest,
+    notification_multiset,
+    phase_spans_tile,
+    run_manager_crash,
+    run_partition_heal,
+    run_rack_loss,
+)
 from .cost import CostComparison, host_seconds, run_cost_effectiveness
 from .ablations import (
     AblationRow,
@@ -35,6 +44,7 @@ from .ablations import (
 __all__ = [
     "AblationRow",
     "BaselineResult",
+    "ChaosOutcome",
     "CostComparison",
     "Deployment",
     "host_seconds",
@@ -49,12 +59,18 @@ __all__ = [
     "max_throughput",
     "measure_delays",
     "migration_setup",
+    "multiset_digest",
+    "notification_multiset",
+    "phase_spans_tile",
     "run_elastic",
     "run_figure6",
     "run_figure7",
     "run_figure8",
     "run_figure9",
     "run_grace_period_ablation",
+    "run_manager_crash",
+    "run_partition_heal",
+    "run_rack_loss",
     "run_selection_ablation",
     "run_table1",
     "run_target_utilization_ablation",

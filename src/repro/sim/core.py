@@ -108,6 +108,19 @@ class Event:
         self.env.schedule(self)
         return self
 
+    def defuse(self) -> "Event":
+        """Mark a failed event as handled out of band.
+
+        The event loop crashes the simulation when a failed event is
+        processed with no waiter having consumed its exception.  An
+        interrupter that deliberately kills a process nobody is waiting
+        on (a fault injector crashing a manager, say) defuses the
+        process event first so the intended failure is not mistaken for
+        an unhandled one.
+        """
+        self._defused = True
+        return self
+
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed with ``exception``."""
         if self.triggered:

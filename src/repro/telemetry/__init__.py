@@ -152,6 +152,12 @@ class Telemetry:
             self.signal_violations = None
             self.scale_in_vetoes = None
             self.slo_margin = None
+            self.faults_injected = None
+            self.manager_failovers = None
+            self.dead_letter_events = None
+            self.partition_drops = None
+            self.watchdog_timeouts = None
+            self.breaker_trips = None
             self.heartbeats = None
             self.engine_hosts = None
             self.slice_queue_depth = None
@@ -321,6 +327,34 @@ class Telemetry:
             "Target SLO minus the windowed p99 notification delay "
             "(negative while the SLO is breached)",
             unit="seconds",
+        )
+        # Chaos / resilience (see RESILIENCE.md for the catalog).
+        self.faults_injected = m.counter(
+            "faults_injected_total",
+            "Faults injected by a FaultPlan, by kind "
+            "(host_crash/rack_loss/partition/heal/manager_crash)",
+            labels=("kind",),
+        )
+        self.manager_failovers = m.counter(
+            "manager_failovers_total",
+            "Standby managers elected and resumed after a manager crash",
+        )
+        self.dead_letter_events = m.counter(
+            "dead_letter_events_total",
+            "Events parked in the dead-letter queue because their "
+            "destination slice is unrecoverable",
+        )
+        self.partition_drops = m.counter(
+            "net_partition_drops_total",
+            "Messages dropped at send time by an active network partition",
+        )
+        self.watchdog_timeouts = m.counter(
+            "watchdog_timeouts_total",
+            "Stuck operations interrupted by a watchdog timer",
+        )
+        self.breaker_trips = m.counter(
+            "transport_breaker_trips_total",
+            "Per-channel circuit breakers opened on a partitioned link",
         )
         self.heartbeats = m.counter(
             "heartbeats_total", "Probe rounds collected by the manager"

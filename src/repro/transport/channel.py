@@ -21,6 +21,14 @@ instance)`` pair.  It owns two policies the raw fabric does not have:
   stall inside ``process()`` — which keeps self-addressed delivery loops
   (the EP dispatch) deadlock-free.
 
+* **Per-channel circuit breaking** — when the fabric reports the
+  channel's ``(src, dst)`` pair partitioned
+  (:meth:`~repro.cluster.Network.is_partitioned`), the channel opens a
+  breaker instead of flushing into a black hole: pending messages shed
+  to the spill queue (same accounting as credit starvation) and a timer
+  re-probes the fabric every ``breaker_probe_s`` until the partition
+  heals, then flushes with cause ``heal``.  See RESILIENCE.md.
+
 Per-channel FIFO order is preserved unconditionally: the pending queue is
 FIFO, a flush always sends a prefix, and the fabric delivers batches in
 order behind the shared NIC watermark — the invariant the migration
@@ -49,7 +57,9 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Channel", "Transport"]
 
 #: Flush causes recorded per channel and in ``transport_flushes_total``.
-FLUSH_CAUSES = ("eager", "full", "deadline", "credit")
+#: ``heal`` is the flush a circuit breaker issues when the partition that
+#: tripped it disappears from the fabric.
+FLUSH_CAUSES = ("eager", "full", "deadline", "credit", "heal")
 
 
 class Channel:
@@ -72,6 +82,9 @@ class Channel:
         "_src_host",
         "_deadline_token",
         "_starved_since",
+        "_breaker_open",
+        "_probe_s",
+        "breaker_trips",
         "stall_seconds_total",
         "stall_count",
         "messages_sent",
@@ -101,6 +114,11 @@ class Channel:
         #: Simulated time since when the channel has pending messages it
         #: cannot send for lack of credits (``None`` = not starved).
         self._starved_since: Optional[float] = None
+        #: True while the circuit breaker holds the channel off a
+        #: partitioned fabric path (pending messages shed to spill).
+        self._breaker_open = False
+        self._probe_s = config.breaker_probe_s
+        self.breaker_trips = 0
         self.stall_seconds_total = 0.0
         self.stall_count = 0
         self.messages_sent = 0
@@ -120,6 +138,11 @@ class Channel:
     def starved(self) -> bool:
         """True while pending messages wait for credits."""
         return self._starved_since is not None
+
+    @property
+    def breaker_open(self) -> bool:
+        """True while the channel is circuit-broken off a partition."""
+        return self._breaker_open
 
     @property
     def credits_outstanding(self) -> int:
@@ -179,7 +202,12 @@ class Channel:
     def _flush(self, cause: str) -> None:
         """Send the longest credit-covered prefix of the pending queue."""
         pending = self._pending
-        if not pending or self.released:
+        if not pending or self.released or self._breaker_open:
+            return
+        if self.network.has_partitions and self.network.is_partitioned(
+            self._src_host, self.dst_host
+        ):
+            self._trip_breaker()
             return
         n = len(pending)
         if self._bp:
@@ -228,6 +256,37 @@ class Channel:
         if pending and self._bp and self.credits <= 0:
             self._starved_since = self.env.now
 
+    # -- circuit breaker ------------------------------------------------------
+
+    def _trip_breaker(self) -> None:
+        """The fabric path is partitioned: shed to spill, re-probe later.
+
+        Instead of retrying into a black hole (every message would be
+        dropped by the fabric and its credit lost for the partition's
+        lifetime), the channel opens a breaker: pending messages park in
+        the spill queue exactly as under credit starvation, and a probe
+        timer re-checks the fabric every ``breaker_probe_s`` until the
+        partition heals, then flushes with cause ``heal``.
+        """
+        self._breaker_open = True
+        self.breaker_trips += 1
+        if self._starved_since is None:
+            self._starved_since = self.env.now
+        fam = self._transport._tel_breaker
+        if fam is not None:
+            fam.inc()
+        self.env.call_later(self._probe_s, self._probe_breaker)
+
+    def _probe_breaker(self) -> None:
+        if self.released or not self._breaker_open:
+            return
+        if self.network.is_partitioned(self._src_host, self.dst_host):
+            self.env.call_later(self._probe_s, self._probe_breaker)
+            return
+        self._breaker_open = False
+        if self._pending:
+            self._flush("heal")
+
     # -- receive side (credit grants) ---------------------------------------
 
     def consumed(self, n: int = 1) -> None:
@@ -248,7 +307,10 @@ class Channel:
     def _on_grant(self, n: int) -> None:
         if self.released:
             return
-        self.credits += n
+        # Cap at the window: an event a halted origin drops and later
+        # re-splices on resume() returns its credit twice (see
+        # SliceInstance.resume), and the cap absorbs the surplus.
+        self.credits = min(self.credits + n, self.credit_window)
         if self._pending:
             self._flush("credit")
 
@@ -292,6 +354,7 @@ class Transport:
         #: with metrics enabled is bound).
         self._tel_flush = None
         self._tel_stall = None
+        self._tel_breaker = None
 
     @property
     def backpressure(self) -> bool:
@@ -310,6 +373,9 @@ class Transport:
         )
         self._tel_stall = (
             telemetry.transport_stall if telemetry is not None else None
+        )
+        self._tel_breaker = (
+            telemetry.breaker_trips if telemetry is not None else None
         )
 
     # -- channel registry ---------------------------------------------------
@@ -429,6 +495,12 @@ class Transport:
         """
         return sum(
             channel.pending_count for channel in self._channels.values()
+        )
+
+    def breaker_trips_total(self) -> int:
+        """Circuit-breaker trips summed over all channels."""
+        return sum(
+            channel.breaker_trips for channel in self._channels.values()
         )
 
     def flush_cause_totals(self) -> Dict[str, int]:

@@ -59,6 +59,12 @@ class TransportConfig:
     #: Send credits per channel (max in-flight + queued messages one
     #: channel may have at its receiver).
     credit_window: int = 256
+    #: Re-probe period of a tripped circuit breaker: when the fabric
+    #: reports the channel's ``(src, dst)`` pair partitioned, the channel
+    #: opens its breaker, sheds to spill, and re-checks the fabric every
+    #: ``breaker_probe_s`` simulated seconds until the partition heals
+    #: (see RESILIENCE.md).
+    breaker_probe_s: float = 0.5
 
     def __post_init__(self):
         if self.flush_mode not in FLUSH_MODES:
@@ -75,6 +81,10 @@ class TransportConfig:
         if self.credit_window < 1:
             raise ValueError(
                 f"credit_window must be >= 1, got {self.credit_window}"
+            )
+        if self.breaker_probe_s <= 0:
+            raise ValueError(
+                f"breaker_probe_s must be > 0, got {self.breaker_probe_s}"
             )
 
     @property
@@ -93,4 +103,5 @@ class TransportConfig:
             flush_max_batch=env_int("REPRO_NET_FLUSH_MAX_BATCH", 64),
             backpressure=env_bool("REPRO_NET_BACKPRESSURE", False),
             credit_window=env_int("REPRO_NET_CREDIT_WINDOW", 256),
+            breaker_probe_s=env_float("REPRO_NET_BREAKER_PROBE_S", 0.5),
         )

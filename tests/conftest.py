@@ -1,0 +1,63 @@
+"""Session-wide chaos wiring: the CI standing fault plan (RESILIENCE.md §6).
+
+CI's chaos leg exports ``REPRO_CHAOS_SEED`` and re-runs tier-1.  The
+``standing_fault_plan`` fixture below is how that seed reaches the
+recovery-aware tests: they call ``arm(...)`` against their deployment
+and get a scripted background fault schedule — a single host crash plus
+an optional partition/heal window — whose victims and timing derive
+from the seed.  Without the variable the default seed (0) is used, so
+the schedule is always exercised and stays deterministic either way.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import FaultPlan, chaos_seed_from_env
+
+
+@pytest.fixture(scope="session")
+def chaos_seed():
+    """The standing chaos seed from ``REPRO_CHAOS_SEED``, or ``None``."""
+    return chaos_seed_from_env()
+
+
+@pytest.fixture
+def standing_fault_plan(chaos_seed):
+    """Factory arming the standing background fault plan on a deployment.
+
+    ``arm(env, cloud=..., hosts=victim_pool)`` scripts a seed-picked
+    single-host crash inside ``[crash_window_s)``; passing
+    ``partition_with=`` another host group additionally cuts the fabric
+    between the victims' group and that group for ``partition_window_s``
+    and heals it.  Returns the armed :class:`FaultPlan` so the test can
+    assert against ``plan.injected`` afterwards.
+    """
+
+    def arm(
+        env,
+        *,
+        cloud,
+        hosts,
+        detector=None,
+        telemetry=None,
+        crash_window_s=(0.2, 1.0),
+        partition_with=None,
+        partition_window_s=(1.5, 3.0),
+    ):
+        seed = 0 if chaos_seed is None else chaos_seed
+        plan = FaultPlan(
+            env, cloud=cloud, detector=detector, telemetry=telemetry,
+            seed=seed,
+        )
+        plan.group("standing", hosts)
+        rng = random.Random(seed)
+        lo, hi = crash_window_s
+        plan.crash_host_at(lo + rng.random() * (hi - lo))
+        if partition_with is not None:
+            cut, heal = partition_window_s
+            plan.partition_at(cut, "standing", list(partition_with))
+            plan.heal_at(heal)
+        return plan
+
+    return arm

@@ -1,0 +1,200 @@
+"""Manager crash *mid-decision*: persistence, fencing, and settlement.
+
+test_failover.py covers the takeover of an idle manager; these tests
+crash the active manager at a chosen phase of an operation it is
+driving (via ``FaultPlan.crash_manager_at_phase``) and verify the
+promoted standby settles the interrupted decision — completed or rolled
+back, never half-applied — per RESILIENCE.md §4.
+"""
+
+import pytest
+
+from repro.cluster import CloudProvider, FaultPlan, HostSpec
+from repro.elastic import (
+    ManagerFailover,
+    PlannedMigration,
+    PlannedShardOp,
+    ScalingDecision,
+    ViolationKind,
+)
+from repro.engine import CheckpointStore
+from repro.filtering import CostModel, ExactBackend, ShardedAspeLibrary
+from repro.pubsub import HubConfig, StreamHub, Subscription
+from repro.sim import Environment
+from repro.workloads import ScaleWorkload
+
+
+class FailoverHarness:
+    """Two-host hub with a primary + standby manager pair."""
+
+    def __init__(self, subs=40):
+        self.env = Environment()
+        self.cloud = CloudProvider(self.env, spec=HostSpec(cores=8),
+                                   max_hosts=10)
+        self.engine_hosts = [self.cloud.provision_now(),
+                             self.cloud.provision_now()]
+        sink = self.cloud.provision_now()
+        config = HubConfig(
+            ap_slices=1, m_slices=2, ep_slices=1, sink_slices=1,
+            cost_model=CostModel(aspe_match_op_s=1e-6),
+            # Key-range-sharded store: migratable *and* shardable, so one
+            # harness covers both protocols.
+            backend_factory=lambda index: ExactBackend(ShardedAspeLibrary()),
+        )
+        self.hub = StreamHub(self.env, self.cloud.network, config)
+        self.hub.deploy_all_on(self.engine_hosts, [sink])
+        workload = ScaleWorkload(seed=6)
+        for batch in workload.subscription_batches(subs):
+            for sub_id, payload in batch:
+                self.hub.subscribe(Subscription(sub_id, sub_id, payload))
+        self.env.run()  # drain subscriptions before any manager starts
+        self.store = CheckpointStore()
+        self.failover = ManagerFailover(
+            self.hub, self.cloud, checkpoint_store=self.store,
+            probe_interval_s=1000.0,  # decisions are driven explicitly
+        )
+        self.failover.start_primary(self.engine_hosts)
+        self.failover.add_standby("standby")
+
+    def settle(self):
+        """Run well past the decision but short of the probe loops."""
+        self.env.run(until=self.env.now + 500.0)
+
+    def migration_decision(self):
+        placement = self.hub.runtime.placement()
+        src = placement["M:0"]
+        dst = next(
+            h.host_id for h in self.engine_hosts if h.host_id != src
+        )
+        return ScalingDecision(
+            kind=ViolationKind.LOCAL_OVERLOAD,
+            migrations=[PlannedMigration("M:0", src, dst)],
+        ), src, dst
+
+    def split_decision(self):
+        host = self.hub.runtime.placement()["M:0"]
+        return ScalingDecision(
+            kind=ViolationKind.LOCAL_OVERLOAD,
+            shard_ops=[PlannedShardOp("M:0", "split", host)],
+        )
+
+    def crash_target(self, kill_inflight):
+        failover = self.failover
+
+        class Target:
+            @staticmethod
+            def crash():
+                failover.crash_active(kill_inflight=kill_inflight)
+
+        return Target
+
+
+def test_decision_persisted_before_acting():
+    h = FailoverHarness()
+    decision, src, _ = h.migration_decision()
+    h.failover.active.execute_decision(decision)
+    # On stable storage while the protocol is still in flight: a step
+    # later the decision record is durable, the migration is not done.
+    h.env.run(until=h.env.now + 0.001)
+    stored = h.store.get("__manager__")
+    inflight = stored.state["inflight"]
+    assert inflight is not None
+    assert [m["slice"] for m in inflight["migrations"]] == ["M:0"]
+    h.settle()
+    # Completed without a crash: the in-flight marker is cleared.
+    assert h.store.get("__manager__").state["inflight"] is None
+    assert h.store.get("__manager__").epoch > stored.epoch
+
+
+def test_crash_mid_migration_rolls_back_and_promotes_standby():
+    h = FailoverHarness()
+    decision, src, _ = h.migration_decision()
+    plan = FaultPlan(h.env)
+    plan.crash_manager_at_phase(
+        h.hub.runtime, h.crash_target(kill_inflight=True),
+        phase="copy", protocol="migration",
+    )
+    h.failover.active.execute_decision(decision)
+    h.settle()
+    assert h.failover.failovers == 1
+    assert h.failover.active is h.failover.managers["standby"]
+    assert plan.injected[0][1] == "manager_crash"
+    assert h.hub.runtime.migrations_aborted == 1
+    # The slice never moved, and the standby recorded exactly that.
+    assert h.hub.runtime.placement()["M:0"] == src
+    assert h.failover.active.failover_outcomes == [("M:0", "rolled_back")]
+
+
+def test_crash_with_surviving_orphan_classified_completed():
+    h = FailoverHarness()
+    decision, src, dst = h.migration_decision()
+    plan = FaultPlan(h.env)
+    plan.crash_manager_at_phase(
+        h.hub.runtime, h.crash_target(kill_inflight=False),
+        phase="copy", protocol="migration",
+    )
+    h.failover.active.execute_decision(decision)
+    h.settle()
+    assert h.failover.failovers == 1
+    # The orphaned migration ran to completion; the standby awaited it
+    # and settled the decision as completed.
+    assert h.hub.runtime.placement()["M:0"] == dst
+    assert h.hub.runtime.migrations_aborted == 0
+    assert h.failover.active.failover_outcomes == [("M:0", "completed")]
+
+
+def test_crash_mid_reshard_rolls_back_the_split():
+    h = FailoverHarness()
+    plan = FaultPlan(h.env)
+    plan.crash_manager_at_phase(
+        h.hub.runtime, h.crash_target(kill_inflight=True),
+        phase="copy", protocol="reshard",
+    )
+    h.failover.active.execute_decision(h.split_decision())
+    h.settle()
+    assert h.failover.failovers == 1
+    assert h.hub.runtime.shard_ops_aborted == 1
+    # Rollback reversed the already-applied split on the shared library.
+    assert h.hub.runtime.slice_stats("M:0")["shards"] == 1
+    assert h.failover.active.failover_outcomes == [("M:0", "rolled_back")]
+
+
+def test_crash_mid_reshard_orphan_classified_by_shard_count():
+    h = FailoverHarness()
+    plan = FaultPlan(h.env)
+    plan.crash_manager_at_phase(
+        h.hub.runtime, h.crash_target(kill_inflight=False),
+        phase="copy", protocol="reshard",
+    )
+    h.failover.active.execute_decision(h.split_decision())
+    h.settle()
+    assert h.failover.failovers == 1
+    assert h.hub.runtime.slice_stats("M:0")["shards"] == 2
+    assert h.failover.active.failover_outcomes == [("M:0", "completed")]
+
+
+def test_crashed_manager_is_fenced_off_stable_storage():
+    h = FailoverHarness()
+    decision, _, _ = h.migration_decision()
+    plan = FaultPlan(h.env)
+    plan.crash_manager_at_phase(
+        h.hub.runtime, h.crash_target(kill_inflight=True),
+        phase="copy", protocol="migration",
+    )
+    h.failover.active.execute_decision(decision)
+    primary = h.failover.active
+    h.settle()
+    assert primary.crashed
+    epoch = h.store.get("__manager__").epoch
+    # A zombie write from the crashed instance must be a no-op: the
+    # promoted standby owns the epoch chain now.
+    primary._persist_state(inflight=None)
+    assert h.store.get("__manager__").epoch == epoch
+
+
+def test_crash_without_active_manager_rejected():
+    h = FailoverHarness(subs=0)
+    h.failover.crash_active()  # promotes the standby synchronously
+    h.failover.crash_active()  # kills the standby; nobody is left
+    with pytest.raises(RuntimeError):
+        h.failover.crash_active()

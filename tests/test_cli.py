@@ -8,9 +8,32 @@ from repro.cli import build_parser, main
 def test_parser_knows_all_commands():
     parser = build_parser()
     for command in ["figure1", "figure6", "table1", "figure7", "figure8",
-                    "figure9", "ablations", "trace", "metrics", "policy"]:
+                    "figure9", "ablations", "trace", "metrics", "policy",
+                    "chaos"]:
         args = parser.parse_args([command])
         assert args.command == command
+
+
+def test_chaos_argument_defaults():
+    args = build_parser().parse_args(["chaos"])
+    assert args.scenario == "all"
+    assert args.rack_size == 2
+    assert args.phase == "copy"
+    assert args.trace is None
+
+
+def test_chaos_help_lists_scenarios(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(["chaos", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    for token in ("rack-loss", "manager-crash", "partition", "all"):
+        assert token in out
+
+
+def test_chaos_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["chaos", "--scenario", "earthquake"])
 
 
 def test_missing_command_errors():

@@ -20,7 +20,7 @@ from pathlib import Path
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DOC_FILES = ["README.md", "OBSERVABILITY.md"]
+DOC_FILES = ["README.md", "OBSERVABILITY.md", "RESILIENCE.md"]
 
 _BLOCK_RE = re.compile(r"```python\n(.*?)```", re.S)
 
